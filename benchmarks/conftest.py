@@ -1,0 +1,50 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper at the ``quick``
+scale (small synthetic datasets, few epochs) so the full suite completes in
+minutes on a CPU.  The measured numbers are printed next to the paper's
+reported values; absolute agreement is not expected (different data scale and
+substrate), but the qualitative shape — who wins, roughly by how much — is
+asserted where the paper's claim is specific.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+#: The scale every benchmark runs at.  Switch to "small" for a slower,
+#: higher-fidelity regeneration of the tables.
+BENCHMARK_SCALE = "quick"
+
+#: Regenerated tables/figures are also written here as plain text so they are
+#: easy to inspect and to archive (pytest captures stdout of passing tests).
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+def export_text(name: str, text: str) -> Path:
+    """Write a regenerated table/figure to ``results/<name>.txt`` and return the path."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    return path
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    return BENCHMARK_SCALE
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark timing.
+
+    The experiments are full train-and-evaluate cycles; repeating them for
+    statistical timing would multiply the suite's runtime for no benefit, so
+    every benchmark uses a single round.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,40 @@
+"""Benchmark E2 — regenerate Table II (ranking / next-POI recommendation).
+
+Trains SeqFM and all seven ranking baselines on the Gowalla-like and
+Foursquare-like datasets with the BPR loss and reports HR@K / NDCG@K under
+the leave-one-out protocol, side by side with the paper's numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import export_text, run_once
+from repro.experiments import reference
+from repro.experiments.reporting import compare_to_paper
+from repro.experiments.table2 import RANKING_MODELS, run_table2
+
+
+@pytest.mark.parametrize("dataset", ["gowalla", "foursquare"])
+def test_table2_ranking(benchmark, scale, dataset):
+    tables = run_once(benchmark, run_table2, datasets=(dataset,), models=RANKING_MODELS, scale=scale)
+    table = tables[dataset]
+
+    report = "\n".join([
+        str(table), "",
+        compare_to_paper(table, reference.TABLE2_RANKING[dataset], columns=["HR@10", "NDCG@10"]),
+    ])
+    print("\n" + report)
+    export_text(f"table2_ranking_{dataset}", report)
+
+    # Shape checks mirroring the paper's headline observations:
+    # every model produced sane, bounded metrics ...
+    for row in table.rows.values():
+        for value in row.values():
+            assert 0.0 <= value <= 1.0
+    # ... and SeqFM sits in the top tier on HR@10 (within 5 points of the best
+    # model in this scaled-down run; in the paper it is strictly first).
+    best_model = table.best_row("HR@10")
+    assert table.get("SeqFM", "HR@10") >= table.get(best_model, "HR@10") - 0.05
+    # SeqFM beats the plain, order-free FM — the paper's central claim.
+    assert table.get("SeqFM", "HR@10") >= table.get("FM", "HR@10") - 0.02

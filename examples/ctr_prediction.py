@@ -1,0 +1,72 @@
+"""Click-through-rate prediction with SeqFM (the paper's classification task).
+
+The scenario follows Section IV-B of the paper: given a user, the sequence of
+links they previously clicked, and a candidate link, predict whether the user
+will click it.  The script trains both SeqFM and two CTR baselines (FM and
+DIN) on a synthetic Taobao-like click log and compares their AUC / RMSE —
+illustrating the gap that sequence-awareness buys when click behaviour is
+driven by slowly drifting long-term preferences.
+
+Run with::
+
+    python examples/ctr_prediction.py
+"""
+
+from __future__ import annotations
+
+from repro.baselines import DIN, FM
+from repro.core import SeqFMConfig, Trainer, TrainerConfig
+from repro.core.tasks import SeqFMClassifier, make_task_model
+from repro.data import (
+    FeatureEncoder,
+    NegativeSampler,
+    filter_by_activity,
+    leave_one_out_split,
+    synthetic,
+)
+from repro.eval import EvaluationProtocol
+
+
+def main() -> None:
+    # Synthetic Taobao-like click log: long-range preference drift.
+    log = synthetic.taobao_like(num_users=120, num_objects=180, interactions_per_user=30)
+    log = filter_by_activity(log, min_user_interactions=8, min_object_interactions=3)
+    print(f"dataset: {log.name}  {log.statistics()}")
+
+    split = leave_one_out_split(log)
+    encoder = FeatureEncoder(log, max_seq_len=20)
+    sampler = NegativeSampler(log, seed=0)
+    train_examples = encoder.encode_training_instances(split.train)
+    protocol = EvaluationProtocol(encoder, sampler, seed=7)
+    trainer_config = TrainerConfig(epochs=5, batch_size=128, learning_rate=8e-3,
+                                   negatives_per_positive=2)
+
+    seqfm_config = SeqFMConfig(
+        static_vocab_size=encoder.static_vocab_size,
+        dynamic_vocab_size=encoder.dynamic_vocab_size,
+        max_seq_len=encoder.max_seq_len,
+        embed_dim=32,
+        dropout=0.2,
+    )
+
+    contenders = {
+        "FM": make_task_model(
+            FM(encoder.static_vocab_size, encoder.dynamic_vocab_size, embed_dim=32), "classification"
+        ),
+        "DIN": make_task_model(
+            DIN(encoder.static_vocab_size, encoder.dynamic_vocab_size, embed_dim=32), "classification"
+        ),
+        "SeqFM": SeqFMClassifier(seqfm_config),
+    }
+
+    print(f"\n{'model':10s} {'AUC':>8s} {'RMSE':>8s}")
+    for name, model in contenders.items():
+        Trainer(model, encoder, sampler, trainer_config).fit(train_examples)
+        metrics = protocol.evaluate(model, split, task="classification")
+        print(f"{name:10s} {metrics['AUC']:8.4f} {metrics['RMSE']:8.4f}")
+
+    print("\nExpected shape (paper, Table III): SeqFM > DIN > FM on AUC.")
+
+
+if __name__ == "__main__":
+    main()

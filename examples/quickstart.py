@@ -1,0 +1,100 @@
+"""Quickstart: train SeqFM on a small synthetic POI check-in dataset and rank
+next-POI candidates for a few users.
+
+Run with::
+
+    python examples/quickstart.py
+
+The whole script finishes in well under a minute on a laptop CPU.  It walks
+through the five steps every application of the library follows:
+
+1. obtain an interaction log (here: a synthetic Gowalla-like generator);
+2. filter + leave-one-out split + feature encoding;
+3. build a SeqFM model and wrap it with a task head;
+4. train with the shared mini-batch Adam trainer;
+5. evaluate with the paper's protocol and inspect a few predictions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import SeqFMConfig, SeqFMRanker, Trainer, TrainerConfig
+from repro.data import (
+    FeatureBatch,
+    FeatureEncoder,
+    NegativeSampler,
+    filter_by_activity,
+    leave_one_out_split,
+    synthetic,
+)
+from repro.eval import EvaluationProtocol
+
+
+def main() -> None:
+    # ------------------------------------------------------------------ #
+    # 1. Data: a synthetic POI check-in log with sequential structure.
+    # ------------------------------------------------------------------ #
+    log = synthetic.gowalla_like(num_users=120, num_objects=150, interactions_per_user=25)
+    log = filter_by_activity(log, min_user_interactions=8, min_object_interactions=3)
+    print(f"dataset: {log.name}  {log.statistics()}")
+
+    # ------------------------------------------------------------------ #
+    # 2. Chronological leave-one-out split and feature encoding.
+    # ------------------------------------------------------------------ #
+    split = leave_one_out_split(log)
+    encoder = FeatureEncoder(log, max_seq_len=15)
+    sampler = NegativeSampler(log, seed=0)
+    train_examples = encoder.encode_training_instances(split.train)
+    print(f"training instances: {len(train_examples)}")
+
+    # ------------------------------------------------------------------ #
+    # 3. Model: SeqFM with the ranking (BPR) head.
+    # ------------------------------------------------------------------ #
+    config = SeqFMConfig(
+        static_vocab_size=encoder.static_vocab_size,
+        dynamic_vocab_size=encoder.dynamic_vocab_size,
+        max_seq_len=encoder.max_seq_len,
+        embed_dim=32,
+        ffn_layers=1,
+        dropout=0.2,
+        seed=0,
+    )
+    model = SeqFMRanker(config)
+    print(f"model: {model.scorer}")
+
+    # ------------------------------------------------------------------ #
+    # 4. Training.
+    # ------------------------------------------------------------------ #
+    trainer = Trainer(
+        model, encoder, sampler,
+        TrainerConfig(epochs=5, batch_size=128, learning_rate=8e-3,
+                      negatives_per_positive=1, verbose=True),
+    )
+    trainer.fit(train_examples)
+
+    # ------------------------------------------------------------------ #
+    # 5. Evaluation + a peek at actual recommendations.
+    # ------------------------------------------------------------------ #
+    protocol = EvaluationProtocol(encoder, sampler, num_ranking_negatives=100)
+    metrics = protocol.evaluate(model, split, task="ranking")
+    print("\nleave-one-out test metrics:")
+    for name, value in metrics.items():
+        print(f"  {name:10s} {value:.4f}")
+
+    print("\nsample top-5 recommendations:")
+    for user_id in list(split.test)[:3]:
+        history = split.history[user_id]
+        candidates = sampler.evaluation_candidates(user_id, split.test[user_id].object_id, 50)
+        batch = FeatureBatch.from_examples(
+            [encoder.encode(user_id, int(candidate), history) for candidate in candidates]
+        )
+        scores = model.predict(batch)
+        top5 = candidates[np.argsort(-scores)[:5]]
+        marker = "✓" if split.test[user_id].object_id in top5 else "✗"
+        print(f"  user {user_id:4d}: ground truth {split.test[user_id].object_id:4d} "
+              f"{marker}  top-5 = {top5.tolist()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""Rating prediction with SeqFM (the paper's regression task).
+
+Given a user, the items they rated before, and a new target item, estimate
+the rating they will give (Section IV-C of the paper).  The script trains
+SeqFM and the RRN / HOFM regression baselines on a synthetic Amazon-Beauty
+style rating log whose ratings contain a sequential "mood" component, then
+reports MAE / RRSE and shows a few individual predictions.
+
+Run with::
+
+    python examples/rating_regression.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines import HOFM, RRN
+from repro.core import SeqFMConfig, Trainer, TrainerConfig
+from repro.core.tasks import SeqFMRegressor, make_task_model
+from repro.data import FeatureBatch, FeatureEncoder, leave_one_out_split, synthetic
+from repro.eval import EvaluationProtocol
+
+
+def main() -> None:
+    log = synthetic.beauty_like(num_users=120, num_objects=140, interactions_per_user=18)
+    print(f"dataset: {log.name}  {log.statistics()}")
+
+    split = leave_one_out_split(log)
+    encoder = FeatureEncoder(log, max_seq_len=15)
+    train_examples = encoder.encode_training_instances(split.train, use_ratings=True)
+    protocol = EvaluationProtocol(encoder)
+    trainer_config = TrainerConfig(epochs=8, batch_size=128, learning_rate=0.01)
+
+    seqfm_config = SeqFMConfig(
+        static_vocab_size=encoder.static_vocab_size,
+        dynamic_vocab_size=encoder.dynamic_vocab_size,
+        max_seq_len=encoder.max_seq_len,
+        embed_dim=32,
+        dropout=0.2,
+    )
+
+    contenders = {
+        "HOFM": make_task_model(
+            HOFM(encoder.static_vocab_size, encoder.dynamic_vocab_size, embed_dim=32), "regression"
+        ),
+        "RRN": make_task_model(
+            RRN(encoder.static_vocab_size, encoder.dynamic_vocab_size, embed_dim=32), "regression"
+        ),
+        "SeqFM": SeqFMRegressor(seqfm_config),
+    }
+
+    trained = {}
+    print(f"\n{'model':10s} {'MAE':>8s} {'RRSE':>8s}")
+    for name, model in contenders.items():
+        Trainer(model, encoder, config=trainer_config).fit(train_examples)
+        metrics = protocol.evaluate(model, split, task="regression")
+        trained[name] = model
+        print(f"{name:10s} {metrics['MAE']:8.4f} {metrics['RRSE']:8.4f}")
+
+    # Show a handful of concrete predictions from SeqFM.
+    print("\nSeqFM sample predictions (user, item, predicted vs. actual rating):")
+    model = trained["SeqFM"]
+    shown = 0
+    for user_id, event in split.test.items():
+        history = split.history.get(user_id, [])
+        if not history or event.rating is None:
+            continue
+        example = encoder.encode(user_id, event.object_id, history, label=event.rating)
+        prediction = model.predict(FeatureBatch.from_examples([example]))[0]
+        print(f"  user {user_id:4d}  item {event.object_id:4d}  "
+              f"predicted {prediction:4.2f}  actual {event.rating:4.2f}")
+        shown += 1
+        if shown >= 5:
+            break
+
+    print("\nExpected shape (paper, Table IV): SeqFM achieves the lowest MAE/RRSE.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Attentional Factorization Machine (Xiao et al., IJCAI 2017).
+
+Every pair of non-zero features contributes the element-wise product of its
+embeddings; a small attention network scores each pair, the scores are
+softmax-normalised over the valid pairs, and the attended sum is projected to
+the prediction with a weight vector p.  First-order linear terms are added as
+in the plain FM.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import functional as F
+from repro.autograd.tensor import Tensor
+from repro.baselines.base import BaselineScorer
+from repro.core.masks import NEG_INF
+from repro.data.features import FeatureBatch
+from repro.nn import init
+from repro.nn.linear import Linear
+from repro.nn.module import Parameter
+
+
+class AFM(BaselineScorer):
+    """FM with pairwise attention over the interaction terms."""
+
+    def __init__(
+        self,
+        static_vocab_size: int,
+        dynamic_vocab_size: int,
+        embed_dim: int = 32,
+        attention_dim: int = 16,
+        seed: int = 0,
+    ):
+        super().__init__(static_vocab_size, dynamic_vocab_size, embed_dim, seed)
+        if attention_dim < 1:
+            raise ValueError("attention_dim must be positive")
+        self.attention_mlp = Linear(embed_dim, attention_dim, rng=self.rng)
+        self.attention_vector = Parameter(
+            init.xavier_uniform((attention_dim,), self.rng), name="attention_vector"
+        )
+        self.projection = Parameter(init.xavier_uniform((embed_dim,), self.rng), name="p")
+
+    def forward(self, batch: FeatureBatch) -> Tensor:
+        embeddings, valid = self.all_feature_embeddings(batch)  # (batch, n, d)
+        num_features = embeddings.shape[-2]
+        row_index, col_index = np.triu_indices(num_features, k=1)
+
+        left = embeddings[:, row_index, :]    # (batch, num_pairs, d)
+        right = embeddings[:, col_index, :]
+        pairwise = left * right
+
+        # A pair is valid only when both of its features are real (not padding).
+        pair_valid = valid[:, row_index] * valid[:, col_index]      # (batch, num_pairs)
+
+        attention_hidden = self.attention_mlp(pairwise).relu()      # (batch, num_pairs, a)
+        attention_scores = attention_hidden @ self.attention_vector  # (batch, num_pairs)
+        attention_scores = attention_scores + Tensor(np.where(pair_valid > 0, 0.0, NEG_INF))
+        attention_weights = F.softmax(attention_scores, axis=-1)
+
+        attended = (pairwise * attention_weights.expand_dims(-1)).sum(axis=-2)  # (batch, d)
+        interaction_score = attended @ self.projection
+        return self.linear_term(batch) + interaction_score

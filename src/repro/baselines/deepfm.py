@@ -1,0 +1,59 @@
+"""DeepFM (Guo et al., IJCAI 2017).
+
+A hybrid "wide & deep" FM variant discussed in the paper's related work: the
+FM component (first-order + second-order interactions over the shared
+embeddings) and a DNN component over the concatenated field embeddings are
+trained jointly and summed into the prediction.  Unlike Wide&Deep the wide
+part is a full FM rather than a plain linear model, and both parts share the
+same embedding tables.
+"""
+
+from __future__ import annotations
+
+from repro.autograd.tensor import Tensor
+from repro.baselines.base import BaselineScorer
+from repro.data.features import FeatureBatch
+from repro.nn.layers import ReLU, Sequential
+from repro.nn.linear import Linear
+
+
+class DeepFM(BaselineScorer):
+    """FM component + DNN component over shared embeddings."""
+
+    def __init__(
+        self,
+        static_vocab_size: int,
+        dynamic_vocab_size: int,
+        embed_dim: int = 32,
+        hidden_dims: tuple = (64, 32),
+        seed: int = 0,
+    ):
+        super().__init__(static_vocab_size, dynamic_vocab_size, embed_dim, seed)
+        layers = []
+        previous = 3 * embed_dim  # user + candidate + pooled history fields
+        for hidden in hidden_dims:
+            layers.append(Linear(previous, hidden, rng=self.rng))
+            layers.append(ReLU())
+            previous = hidden
+        layers.append(Linear(previous, 1, rng=self.rng))
+        self.dnn = Sequential(*layers)
+
+    def forward(self, batch: FeatureBatch) -> Tensor:
+        return self.linear_term(batch) + self._fm_component(batch) + self._deep_component(batch)
+
+    def _fm_component(self, batch: FeatureBatch) -> Tensor:
+        embeddings, valid = self.all_feature_embeddings(batch)
+        masked = embeddings * Tensor(valid[..., None])
+        sum_of_embeddings = masked.sum(axis=-2)
+        sum_of_squares = (masked * masked).sum(axis=-2)
+        return (sum_of_embeddings * sum_of_embeddings - sum_of_squares).sum(axis=-1) * 0.5
+
+    def _deep_component(self, batch: FeatureBatch) -> Tensor:
+        static = self.embed_static(batch)
+        user_embedding = static[:, 0, :]
+        candidate_embedding = static[:, 1, :]
+        history_embedding = self.history_mean(batch)
+        deep_input = Tensor.concatenate(
+            [user_embedding, candidate_embedding, history_embedding], axis=-1
+        )
+        return self.dnn(deep_input).squeeze(axis=-1)

@@ -1,0 +1,70 @@
+"""Deep Interest Network (Zhou et al., KDD 2018).
+
+DIN represents the user's interest w.r.t. a *specific* candidate item: an
+activation unit scores every history item against the candidate (from the
+concatenation of the two embeddings and their element-wise product), the
+history is pooled with those activation weights, and an MLP over
+[user, candidate, activated history] produces the prediction.  Unlike
+self-attention models DIN does not model the order of the history — the
+weights depend only on candidate/history similarity — which is why the SeqFM
+paper lists it as a strong but sequence-unaware CTR baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.baselines.base import BaselineScorer
+from repro.data.features import FeatureBatch
+from repro.nn.layers import ReLU, Sequential
+from repro.nn.linear import Linear
+
+
+class DIN(BaselineScorer):
+    """Candidate-conditioned attention pooling over the history + MLP."""
+
+    def __init__(
+        self,
+        static_vocab_size: int,
+        dynamic_vocab_size: int,
+        embed_dim: int = 32,
+        activation_hidden: int = 32,
+        hidden_dims: tuple = (64, 32),
+        seed: int = 0,
+    ):
+        super().__init__(static_vocab_size, dynamic_vocab_size, embed_dim, seed)
+        self.activation_unit = Sequential(
+            Linear(3 * embed_dim, activation_hidden, rng=self.rng),
+            ReLU(),
+            Linear(activation_hidden, 1, rng=self.rng),
+        )
+        layers = []
+        previous = 3 * embed_dim
+        for hidden in hidden_dims:
+            layers.append(Linear(previous, hidden, rng=self.rng))
+            layers.append(ReLU())
+            previous = hidden
+        layers.append(Linear(previous, 1, rng=self.rng))
+        self.prediction_mlp = Sequential(*layers)
+
+    def forward(self, batch: FeatureBatch) -> Tensor:
+        static = self.embed_static(batch)
+        user_embedding = static[:, 0, :]
+        candidate_embedding = static[:, 1, :]
+        history = self.embed_dynamic(batch)                           # (batch, n, d)
+        seq_len = history.shape[1]
+
+        candidate_tiled = candidate_embedding.expand_dims(1)          # (batch, 1, d)
+        candidate_broadcast = Tensor.concatenate([candidate_tiled] * seq_len, axis=1)
+        activation_input = Tensor.concatenate(
+            [history, candidate_broadcast, history * candidate_broadcast], axis=-1
+        )
+        activation_weights = self.activation_unit(activation_input).squeeze(axis=-1)  # (batch, n)
+        # DIN uses un-normalised activation weights; padding positions are zeroed.
+        activation_weights = activation_weights * Tensor(batch.dynamic_mask)
+        interest = (history * activation_weights.expand_dims(-1)).sum(axis=-2)        # (batch, d)
+
+        mlp_input = Tensor.concatenate([user_embedding, candidate_embedding, interest], axis=-1)
+        deep_score = self.prediction_mlp(mlp_input).squeeze(axis=-1)
+        return self.linear_term(batch) + deep_score

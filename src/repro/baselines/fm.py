@@ -1,0 +1,27 @@
+"""Plain Factorization Machine (Rendle, ICDM 2010) — Eq. 2 of the paper.
+
+Second-order interactions over all non-zero features (static + set-category
+history) computed with the standard sum-of-squares identity:
+
+``Σ_{i<j} ⟨vᵢ, vⱼ⟩ = ½ Σ_f [ (Σᵢ v_{if})² − Σᵢ v_{if}² ]``
+
+which is O(n·d) instead of O(n²·d).
+"""
+
+from __future__ import annotations
+
+from repro.autograd.tensor import Tensor
+from repro.baselines.base import BaselineScorer
+from repro.data.features import FeatureBatch
+
+
+class FM(BaselineScorer):
+    """Second-order factorization machine over set-category features."""
+
+    def forward(self, batch: FeatureBatch) -> Tensor:
+        embeddings, valid = self.all_feature_embeddings(batch)
+        masked = embeddings * Tensor(valid[..., None])
+        sum_of_embeddings = masked.sum(axis=-2)            # (batch, d)
+        sum_of_squares = (masked * masked).sum(axis=-2)    # (batch, d)
+        pairwise = (sum_of_embeddings * sum_of_embeddings - sum_of_squares).sum(axis=-1) * 0.5
+        return self.linear_term(batch) + pairwise

@@ -1,0 +1,89 @@
+"""FNN — the FM-supported neural network (Zhang et al., ECIR 2016).
+
+Cited in the paper's related work as one of the first DNN-based FM variants:
+feature embeddings are pre-trained with a plain factorization machine and a
+feed-forward network is then trained on top of the (fine-tuned) embeddings.
+This implementation reproduces that two-stage structure: :meth:`pretrain`
+runs a few FM epochs to initialise the embedding tables, after which the
+usual trainer optimises the whole network end-to-end.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.autograd.tensor import Tensor
+from repro.baselines.base import BaselineScorer
+from repro.baselines.fm import FM
+from repro.data.features import EncodedExample, FeatureBatch
+from repro.nn.layers import ReLU, Sequential
+from repro.nn.linear import Linear
+
+
+class FNN(BaselineScorer):
+    """MLP over FM-initialised feature embeddings."""
+
+    def __init__(
+        self,
+        static_vocab_size: int,
+        dynamic_vocab_size: int,
+        embed_dim: int = 32,
+        hidden_dims: tuple = (64, 32),
+        seed: int = 0,
+    ):
+        super().__init__(static_vocab_size, dynamic_vocab_size, embed_dim, seed)
+        layers = []
+        previous = 3 * embed_dim
+        for hidden in hidden_dims:
+            layers.append(Linear(previous, hidden, rng=self.rng))
+            layers.append(ReLU())
+            previous = hidden
+        layers.append(Linear(previous, 1, rng=self.rng))
+        self.mlp = Sequential(*layers)
+
+    def forward(self, batch: FeatureBatch) -> Tensor:
+        static = self.embed_static(batch)
+        user_embedding = static[:, 0, :]
+        candidate_embedding = static[:, 1, :]
+        history_embedding = self.history_mean(batch)
+        mlp_input = Tensor.concatenate(
+            [user_embedding, candidate_embedding, history_embedding], axis=-1
+        )
+        return self.linear_term(batch) + self.mlp(mlp_input).squeeze(axis=-1)
+
+    def pretrain(
+        self,
+        train_examples: Sequence[EncodedExample],
+        epochs: int = 2,
+        learning_rate: float = 5e-3,
+        batch_size: int = 128,
+        seed: int = 0,
+    ) -> None:
+        """Initialise the embedding tables with a short plain-FM training run.
+
+        A throw-away :class:`~repro.baselines.fm.FM` sharing the same
+        vocabulary is trained on the squared error of the labels (the
+        pre-training objective of the original FNN paper applied to our
+        encoded instances) and its embedding and linear tables are copied in.
+        """
+        from repro.core.tasks import make_task_model
+        from repro.data.batching import BatchIterator
+        from repro.nn.optim import Adam
+
+        fm = FM(self.static_embedding.num_embeddings, self.dynamic_embedding.num_embeddings,
+                embed_dim=self.embed_dim, seed=seed)
+        task = make_task_model(fm, "regression")
+        optimizer = Adam(fm.parameters(), lr=learning_rate)
+        iterator = BatchIterator(train_examples, batch_size=batch_size, seed=seed)
+        for _ in range(max(epochs, 0)):
+            for batch in iterator:
+                optimizer.zero_grad()
+                loss = task.loss(batch)
+                loss.backward()
+                optimizer.step()
+
+        self.static_embedding.weight.data[...] = fm.static_embedding.weight.data
+        self.dynamic_embedding.weight.data[...] = fm.dynamic_embedding.weight.data
+        self.static_linear.data[...] = fm.static_linear.data
+        self.dynamic_linear.data[...] = fm.dynamic_linear.data
+        self.global_bias.data[...] = fm.global_bias.data

@@ -1,0 +1,51 @@
+"""Neural Factorization Machine (He & Chua, SIGIR 2017).
+
+Replaces the FM's inner-product interaction with a *bi-interaction pooling*
+layer — the element-wise counterpart of the sum-of-squares identity —
+
+``f_BI(x) = ½ [ (Σᵢ xᵢvᵢ)² − Σᵢ (xᵢvᵢ)² ]  ∈ R^d``
+
+followed by a small MLP ("hidden layers") and a projection to the scalar
+prediction, plus the usual first-order linear term.
+"""
+
+from __future__ import annotations
+
+from repro.autograd.tensor import Tensor
+from repro.baselines.base import BaselineScorer
+from repro.data.features import FeatureBatch
+from repro.nn.layers import Dropout, ReLU, Sequential
+from repro.nn.linear import Linear
+
+
+class NFM(BaselineScorer):
+    """FM with bi-interaction pooling and an MLP on top."""
+
+    def __init__(
+        self,
+        static_vocab_size: int,
+        dynamic_vocab_size: int,
+        embed_dim: int = 32,
+        hidden_dims: tuple = (64,),
+        dropout: float = 0.2,
+        seed: int = 0,
+    ):
+        super().__init__(static_vocab_size, dynamic_vocab_size, embed_dim, seed)
+        layers = []
+        previous = embed_dim
+        for hidden in hidden_dims:
+            layers.append(Linear(previous, hidden, rng=self.rng))
+            layers.append(ReLU())
+            layers.append(Dropout(dropout, rng=self.rng))
+            previous = hidden
+        layers.append(Linear(previous, 1, rng=self.rng))
+        self.hidden_layers = Sequential(*layers)
+
+    def forward(self, batch: FeatureBatch) -> Tensor:
+        embeddings, valid = self.all_feature_embeddings(batch)
+        masked = embeddings * Tensor(valid[..., None])
+        sum_of_embeddings = masked.sum(axis=-2)
+        sum_of_squares = (masked * masked).sum(axis=-2)
+        bi_interaction = (sum_of_embeddings * sum_of_embeddings - sum_of_squares) * 0.5
+        deep_score = self.hidden_layers(bi_interaction).squeeze(axis=-1)
+        return self.linear_term(batch) + deep_score

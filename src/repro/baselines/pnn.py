@@ -1,0 +1,61 @@
+"""PNN — Product-based Neural Network (Qu et al., ICDM 2016).
+
+Cited in the paper's related work: between the embedding layer and the DNN,
+PNN inserts a *product layer* whose units are inner products (IPNN) or outer
+products (OPNN) of pairs of field embeddings, concatenated with the raw
+field embeddings.  This implementation provides the inner-product variant
+over the three fields used throughout the baseline suite (user, candidate,
+pooled history).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.baselines.base import BaselineScorer
+from repro.data.features import FeatureBatch
+from repro.nn.layers import ReLU, Sequential
+from repro.nn.linear import Linear
+
+
+class PNN(BaselineScorer):
+    """Inner-product PNN over [user, candidate, history] field embeddings."""
+
+    def __init__(
+        self,
+        static_vocab_size: int,
+        dynamic_vocab_size: int,
+        embed_dim: int = 32,
+        hidden_dims: tuple = (64, 32),
+        seed: int = 0,
+    ):
+        super().__init__(static_vocab_size, dynamic_vocab_size, embed_dim, seed)
+        self.num_fields = 3
+        num_pairs = self.num_fields * (self.num_fields - 1) // 2
+        layers = []
+        previous = self.num_fields * embed_dim + num_pairs
+        for hidden in hidden_dims:
+            layers.append(Linear(previous, hidden, rng=self.rng))
+            layers.append(ReLU())
+            previous = hidden
+        layers.append(Linear(previous, 1, rng=self.rng))
+        self.mlp = Sequential(*layers)
+
+    def forward(self, batch: FeatureBatch) -> Tensor:
+        fields = self._field_embeddings(batch)                          # (batch, 3, d)
+        flat = fields.reshape(fields.shape[0], self.num_fields * self.embed_dim)
+
+        # Inner products of every field pair form the product layer.
+        row_index, col_index = np.triu_indices(self.num_fields, k=1)
+        left = fields[:, row_index, :]
+        right = fields[:, col_index, :]
+        inner_products = (left * right).sum(axis=-1)                    # (batch, num_pairs)
+
+        mlp_input = Tensor.concatenate([flat, inner_products], axis=-1)
+        return self.linear_term(batch) + self.mlp(mlp_input).squeeze(axis=-1)
+
+    def _field_embeddings(self, batch: FeatureBatch) -> Tensor:
+        static = self.embed_static(batch)
+        history = self.history_mean(batch).expand_dims(1)
+        return Tensor.concatenate([static, history], axis=1)

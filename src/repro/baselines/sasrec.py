@@ -1,0 +1,77 @@
+"""SASRec: Self-Attentive Sequential Recommendation (Kang & McAuley, ICDM 2018).
+
+A causal self-attention block (with learned position embeddings) encodes the
+user's history; the representation at the most recent position is matched
+against the candidate item's embedding by inner product.  SASRec is a purely
+sequential model: it does not use the user identity beyond the history, which
+is exactly why the paper observes it degrading on sparser datasets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import functional as F
+from repro.autograd.tensor import Tensor
+from repro.baselines.base import BaselineScorer
+from repro.core import masks as mask_lib
+from repro.data.features import FeatureBatch
+from repro.nn.attention import SelfAttention
+from repro.nn.feedforward import ResidualFeedForward
+from repro.nn.module import Parameter
+from repro.nn import init
+
+
+class SASRec(BaselineScorer):
+    """Causal self-attention over the history, scored against the candidate."""
+
+    def __init__(
+        self,
+        static_vocab_size: int,
+        dynamic_vocab_size: int,
+        embed_dim: int = 32,
+        max_seq_len: int = 20,
+        dropout: float = 0.2,
+        seed: int = 0,
+    ):
+        super().__init__(static_vocab_size, dynamic_vocab_size, embed_dim, seed)
+        self.max_seq_len = max_seq_len
+        self.position_embedding = Parameter(
+            init.embedding_normal((max_seq_len, embed_dim), self.rng), name="positions"
+        )
+        self.attention = SelfAttention(embed_dim, rng=self.rng)
+        self.feed_forward = ResidualFeedForward(embed_dim, num_layers=1, dropout=dropout, rng=self.rng)
+
+    def forward(self, batch: FeatureBatch) -> Tensor:
+        seq_len = batch.dynamic_indices.shape[1]
+        if seq_len > self.max_seq_len:
+            raise ValueError(
+                f"sequence length {seq_len} exceeds the model's max_seq_len {self.max_seq_len}"
+            )
+        history = self.embed_dynamic(batch)                        # (batch, n, d)
+        positions = self.position_embedding[-seq_len:, :]          # align to the most recent slots
+        history = history + positions.expand_dims(0)
+
+        causal = mask_lib.causal_mask(seq_len)[None, :, :]
+        padding = mask_lib.padding_key_mask(batch.dynamic_mask)
+        attention_mask = mask_lib.combine_masks(causal, padding)
+
+        encoded = self.attention(history, mask=attention_mask)
+        encoded = self.feed_forward(encoded)
+        latest = encoded[:, -1, :]                                  # representation of "now"
+
+        # The candidate item lives in the dynamic vocabulary (shift by +1 for padding).
+        candidate_indices = self._candidate_dynamic_indices(batch)
+        candidate_embedding = self.dynamic_embedding(candidate_indices)
+        score = (latest * candidate_embedding).sum(axis=-1)
+        return score + self.linear_term(batch)
+
+    def _candidate_dynamic_indices(self, batch: FeatureBatch) -> np.ndarray:
+        """Map the candidate's static index back to its dynamic-vocabulary index.
+
+        The encoder lays the static vocabulary out as [users | objects] and the
+        dynamic vocabulary as [padding | objects] in the same object order, so
+        the candidate's dynamic index is ``static_index - num_users + 1``.
+        """
+        num_users = self.static_embedding.num_embeddings - (self.dynamic_embedding.num_embeddings - 1)
+        return batch.static_indices[:, 1] - num_users + 1

@@ -1,0 +1,65 @@
+"""Translation-based Factorization Machine (Pasricha & McAuley, RecSys 2018).
+
+TFM models sequential recommendation as a translation in embedding space: the
+embedding of the *most recent* item, translated by a user-specific vector,
+should land close to the embedding of the next item.  The score of a
+candidate is the negative squared Euclidean distance between the translated
+point and the candidate embedding, plus first-order bias terms.  As the SeqFM
+paper points out, TFM only looks at the last item of the dynamic sequence —
+which is exactly the limitation the dynamic view of SeqFM removes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.baselines.base import BaselineScorer
+from repro.data.features import FeatureBatch
+from repro.nn.embedding import Embedding
+
+
+class TFM(BaselineScorer):
+    """Last-item translation model with FM-style linear terms."""
+
+    def __init__(
+        self,
+        static_vocab_size: int,
+        dynamic_vocab_size: int,
+        embed_dim: int = 32,
+        num_users: int = None,
+        seed: int = 0,
+    ):
+        super().__init__(static_vocab_size, dynamic_vocab_size, embed_dim, seed)
+        # The user translation table needs the user count; by the encoder's
+        # layout it equals static_vocab − (dynamic_vocab − 1).
+        inferred_users = static_vocab_size - (dynamic_vocab_size - 1)
+        self.num_users = num_users if num_users is not None else max(inferred_users, 1)
+        self.user_translation = Embedding(self.num_users, embed_dim, rng=self.rng, std=0.01)
+
+    def forward(self, batch: FeatureBatch) -> Tensor:
+        last_item = self._last_item_embedding(batch)                  # (batch, d)
+        user_indices = batch.static_indices[:, 0]
+        translation = self.user_translation(user_indices)             # (batch, d)
+
+        candidate_indices = self._candidate_dynamic_indices(batch)
+        candidate_embedding = self.dynamic_embedding(candidate_indices)
+
+        translated = last_item + translation
+        difference = translated - candidate_embedding
+        distance = (difference * difference).sum(axis=-1)
+        return self.linear_term(batch) - distance
+
+    def _last_item_embedding(self, batch: FeatureBatch) -> Tensor:
+        """Embedding of the most recent real history item.
+
+        Histories are left-padded, so the last column is the most recent event
+        whenever the history is non-empty; users with an empty history fall
+        back to the (zero) padding embedding, i.e. pure-translation scoring.
+        """
+        last_indices = batch.dynamic_indices[:, -1]
+        return self.dynamic_embedding(last_indices)
+
+    def _candidate_dynamic_indices(self, batch: FeatureBatch) -> np.ndarray:
+        num_users = self.static_embedding.num_embeddings - (self.dynamic_embedding.num_embeddings - 1)
+        return batch.static_indices[:, 1] - num_users + 1

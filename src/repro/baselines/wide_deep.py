@@ -1,0 +1,51 @@
+"""Wide&Deep (Cheng et al., DLRS 2016).
+
+The wide component is the first-order linear term over the raw sparse
+features; the deep component is a multi-layer perceptron over the
+concatenation of the user embedding, the candidate-object embedding and the
+mean-pooled history embedding (the standard way of feeding set-category
+features to the deep tower).  The two components are summed into the final
+score, as in the original paper.
+"""
+
+from __future__ import annotations
+
+from repro.autograd.tensor import Tensor
+from repro.baselines.base import BaselineScorer
+from repro.data.features import FeatureBatch
+from repro.nn.layers import ReLU, Sequential
+from repro.nn.linear import Linear
+
+
+class WideDeep(BaselineScorer):
+    """Wide (linear) + Deep (MLP over concatenated embeddings) model."""
+
+    def __init__(
+        self,
+        static_vocab_size: int,
+        dynamic_vocab_size: int,
+        embed_dim: int = 32,
+        hidden_dims: tuple = (64, 32),
+        seed: int = 0,
+    ):
+        super().__init__(static_vocab_size, dynamic_vocab_size, embed_dim, seed)
+        input_dim = 3 * embed_dim  # user + candidate + pooled history
+        layers = []
+        previous = input_dim
+        for hidden in hidden_dims:
+            layers.append(Linear(previous, hidden, rng=self.rng))
+            layers.append(ReLU())
+            previous = hidden
+        layers.append(Linear(previous, 1, rng=self.rng))
+        self.deep_tower = Sequential(*layers)
+
+    def forward(self, batch: FeatureBatch) -> Tensor:
+        static = self.embed_static(batch)                       # (batch, 2, d)
+        user_embedding = static[:, 0, :]
+        candidate_embedding = static[:, 1, :]
+        history_embedding = self.history_mean(batch)
+        deep_input = Tensor.concatenate(
+            [user_embedding, candidate_embedding, history_embedding], axis=-1
+        )
+        deep_score = self.deep_tower(deep_input).squeeze(axis=-1)
+        return self.linear_term(batch) + deep_score

@@ -1,0 +1,75 @@
+"""Grid search over SeqFM hyper-parameters (Section IV-D).
+
+The paper tunes d ∈ {8,...,128}, l ∈ {1,...,5}, n˙ ∈ {10,...,50} and
+ρ ∈ {0.5,...,0.9} with grid search on the validation record of each user.
+:func:`grid_search` implements that procedure generically: it receives a
+model-building callable and an evaluation callable and exhaustively scores
+every combination of the supplied grid.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Sequence, Tuple
+
+
+@dataclass
+class GridSearchResult:
+    """Outcome of :func:`grid_search`.
+
+    Attributes
+    ----------
+    best_params:
+        The hyper-parameter combination with the best validation metric.
+    best_score:
+        Its validation metric.
+    trials:
+        Every (params, score) pair evaluated, in evaluation order.
+    """
+
+    best_params: Dict[str, object]
+    best_score: float
+    trials: List[Tuple[Dict[str, object], float]] = field(default_factory=list)
+
+
+def grid_search(
+    param_grid: Mapping[str, Sequence[object]],
+    evaluate: Callable[[Dict[str, object]], float],
+    maximise: bool = True,
+) -> GridSearchResult:
+    """Exhaustively evaluate every combination of ``param_grid``.
+
+    Parameters
+    ----------
+    param_grid:
+        Mapping from hyper-parameter name to the values to try, e.g.
+        ``{"embed_dim": [8, 16, 32], "ffn_layers": [1, 2]}``.
+    evaluate:
+        Callable receiving one combination (a dict) and returning the
+        validation metric for a model trained with it.
+    maximise:
+        ``True`` for metrics where larger is better (HR, NDCG, AUC),
+        ``False`` for error metrics (RMSE, MAE, RRSE).
+    """
+    if not param_grid:
+        raise ValueError("param_grid must contain at least one hyper-parameter")
+    names = sorted(param_grid)
+    for name in names:
+        if not param_grid[name]:
+            raise ValueError(f"hyper-parameter {name!r} has no candidate values")
+
+    trials: List[Tuple[Dict[str, object], float]] = []
+    best_params: Dict[str, object] = {}
+    best_score = -float("inf") if maximise else float("inf")
+
+    for combination in itertools.product(*(param_grid[name] for name in names)):
+        params = dict(zip(names, combination))
+        score = float(evaluate(params))
+        trials.append((params, score))
+        improved = score > best_score if maximise else score < best_score
+        if improved:
+            best_score = score
+            best_params = params
+
+    return GridSearchResult(best_params=best_params, best_score=best_score, trials=trials)

@@ -1,0 +1,153 @@
+"""Interpretation utilities: inspect what SeqFM's attention heads attend to.
+
+The multi-view self-attention scheme is the paper's core idea; these helpers
+expose the learned attention weights so users can *see* the sequential and
+cross-view structure the model has picked up — e.g. which history items the
+dynamic view weighs most when scoring a candidate, or which static↔dynamic
+pairs dominate the cross view.  They are read-only: no gradients, no
+mutation of the model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.autograd.tensor import no_grad
+from repro.core import masks as mask_lib
+from repro.core.model import SeqFM
+from repro.data.features import FeatureBatch
+
+
+@dataclass
+class AttentionMaps:
+    """Attention weight matrices of one instance, per view.
+
+    Attributes
+    ----------
+    static:
+        (n°, n°) attention weights of the static view (or ``None`` if the view
+        is disabled in the model's configuration).
+    dynamic:
+        (n˙, n˙) causally masked attention weights of the dynamic view.
+    cross:
+        (n°+n˙, n°+n˙) attention weights of the cross view.
+    dynamic_valid:
+        Boolean mask of the real (non-padding) dynamic positions.
+    """
+
+    static: Optional[np.ndarray]
+    dynamic: Optional[np.ndarray]
+    cross: Optional[np.ndarray]
+    dynamic_valid: np.ndarray
+
+
+def attention_maps(model: SeqFM, batch: FeatureBatch, index: int = 0) -> AttentionMaps:
+    """Extract the per-view attention weights for one instance of a batch."""
+    if not 0 <= index < len(batch):
+        raise IndexError(f"index {index} out of range for a batch of {len(batch)}")
+
+    with no_grad():
+        static_embedded = model.static_embedding(batch.static_indices[index:index + 1])
+        dynamic_embedded = model.dynamic_embedding(batch.dynamic_indices[index:index + 1])
+        valid = batch.dynamic_mask[index:index + 1]
+        seq_len = dynamic_embedded.shape[-2]
+        num_static = static_embedded.shape[-2]
+
+        static_weights = None
+        if model.static_view is not None:
+            static_weights = model.static_view.attention.attention_weights(static_embedded)[0]
+
+        dynamic_weights = None
+        if model.dynamic_view is not None:
+            causal = mask_lib.causal_mask(seq_len)[None]
+            padding = mask_lib.padding_key_mask(valid)
+            dynamic_weights = model.dynamic_view.attention.attention_weights(
+                dynamic_embedded, mask=mask_lib.combine_masks(causal, padding)
+            )[0]
+
+        cross_weights = None
+        if model.cross_view is not None:
+            from repro.autograd.tensor import Tensor
+            combined = Tensor.concatenate([static_embedded, dynamic_embedded], axis=-2)
+            static_valid = np.ones((1, num_static))
+            combined_valid = np.concatenate([static_valid, valid], axis=1)
+            padding = mask_lib.padding_key_mask(combined_valid)
+            if model.cross_view.full_attention:
+                attention_mask = padding
+            else:
+                cross = mask_lib.cross_view_mask(num_static, seq_len)[None]
+                attention_mask = mask_lib.combine_masks(cross, padding)
+            cross_weights = model.cross_view.attention.attention_weights(
+                combined, mask=attention_mask
+            )[0]
+
+    return AttentionMaps(
+        static=static_weights,
+        dynamic=dynamic_weights,
+        cross=cross_weights,
+        dynamic_valid=batch.dynamic_mask[index] > 0,
+    )
+
+
+def top_history_influences(model: SeqFM, batch: FeatureBatch, index: int = 0,
+                           top_k: int = 3) -> List[Dict[str, float]]:
+    """Rank the history positions by how much the dynamic view attends to them.
+
+    The influence of position j is the average attention weight it receives
+    from all *valid* later (or equal) positions — a simple summary of the
+    causal attention matrix that answers "which past events drive this
+    user's representation?".
+    """
+    maps = attention_maps(model, batch, index=index)
+    if maps.dynamic is None:
+        raise ValueError("the model has no dynamic view to interpret")
+    valid = maps.dynamic_valid
+    weights = maps.dynamic
+    influences = []
+    for position in np.where(valid)[0]:
+        receivers = np.where(valid)[0]
+        receivers = receivers[receivers >= position]
+        influence = float(weights[receivers, position].mean()) if receivers.size else 0.0
+        influences.append({
+            "position": int(position),
+            "dynamic_index": int(batch.dynamic_indices[index, position]),
+            "influence": influence,
+        })
+    influences.sort(key=lambda item: item["influence"], reverse=True)
+    return influences[:top_k]
+
+
+def view_contributions(model: SeqFM, batch: FeatureBatch) -> Dict[str, np.ndarray]:
+    """Per-view contribution of each instance to the final score.
+
+    Decomposes ⟨p, h_agg⟩ into the partial dot products of each view's slice of
+    the projection vector — a direct answer to "how much of the score came from
+    the static / dynamic / cross view?" for every instance in the batch.
+    """
+    with no_grad():
+        static_embedded = model.static_embedding(batch.static_indices)
+        dynamic_embedded = model.dynamic_embedding(batch.dynamic_indices)
+
+        pooled = []
+        names = []
+        if model.static_view is not None:
+            pooled.append(model.static_view(static_embedded))
+            names.append("static")
+        if model.dynamic_view is not None:
+            pooled.append(model.dynamic_view(dynamic_embedded, batch.dynamic_mask))
+            names.append("dynamic")
+        if model.cross_view is not None:
+            pooled.append(model.cross_view(static_embedded, dynamic_embedded, batch.dynamic_mask))
+            names.append("cross")
+
+        refined = [model._apply_ffn(view, i) for i, view in enumerate(pooled)]
+
+        contributions: Dict[str, np.ndarray] = {}
+        d = model.config.embed_dim
+        for i, (name, representation) in enumerate(zip(names, refined)):
+            projection_slice = model.projection.data[i * d:(i + 1) * d]
+            contributions[name] = representation.data @ projection_slice
+    return contributions

@@ -1,0 +1,118 @@
+"""Checkpointing: save and restore trained models and experiment results.
+
+Models are stored as a single ``.npz`` archive containing every parameter
+array plus a JSON-encoded configuration, so a checkpoint is self-describing:
+:func:`load_seqfm` rebuilds the exact architecture before loading the
+weights.  Baselines (and arbitrary modules) can be round-tripped with the
+weight-only helpers as long as the caller reconstructs the module first.
+
+Experiment results (ResultTable objects) are exported to JSON so benchmark
+runs can be archived and compared across commits.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+import numpy as np
+
+from repro.core.config import SeqFMConfig
+from repro.core.model import SeqFM
+from repro.experiments.reporting import ResultTable
+from repro.nn.module import Module
+
+PathLike = Union[str, Path]
+
+_CONFIG_KEY = "__seqfm_config_json__"
+
+
+# --------------------------------------------------------------------------- #
+# Weight-only (module-agnostic) helpers
+# --------------------------------------------------------------------------- #
+def save_weights(module: Module, path: PathLike) -> None:
+    """Save every parameter of ``module`` into a compressed ``.npz`` archive."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    state = module.state_dict()
+    np.savez_compressed(path, **state)
+
+
+def load_weights(module: Module, path: PathLike) -> None:
+    """Load parameters saved with :func:`save_weights` into ``module``."""
+    path = Path(path)
+    with np.load(path) as archive:
+        state = {name: archive[name] for name in archive.files if name != _CONFIG_KEY}
+    module.load_state_dict(state)
+
+
+# --------------------------------------------------------------------------- #
+# Self-describing SeqFM checkpoints
+# --------------------------------------------------------------------------- #
+def save_seqfm(model: SeqFM, path: PathLike) -> None:
+    """Save a SeqFM model together with its configuration."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    state = model.state_dict()
+    config_json = json.dumps(dataclasses.asdict(model.config))
+    state[_CONFIG_KEY] = np.frombuffer(config_json.encode("utf-8"), dtype=np.uint8)
+    np.savez_compressed(path, **state)
+
+
+def load_seqfm(path: PathLike) -> SeqFM:
+    """Rebuild a SeqFM model from a checkpoint written by :func:`save_seqfm`."""
+    path = Path(path)
+    with np.load(path) as archive:
+        if _CONFIG_KEY not in archive.files:
+            raise ValueError(f"{path} is not a SeqFM checkpoint (missing embedded config)")
+        config_json = bytes(archive[_CONFIG_KEY].tolist()).decode("utf-8")
+        state = {name: archive[name] for name in archive.files if name != _CONFIG_KEY}
+    config = SeqFMConfig(**json.loads(config_json))
+    model = SeqFM(config)
+    model.load_state_dict(state)
+    return model
+
+
+# --------------------------------------------------------------------------- #
+# Experiment result export
+# --------------------------------------------------------------------------- #
+def save_result_table(table: ResultTable, path: PathLike) -> None:
+    """Export a ResultTable (title, columns, rows, metadata) as JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "title": table.title,
+        "columns": list(table.columns),
+        "rows": table.as_dict(),
+        "metadata": _jsonable(table.metadata),
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def load_result_table(path: PathLike) -> ResultTable:
+    """Load a ResultTable exported by :func:`save_result_table`."""
+    payload = json.loads(Path(path).read_text())
+    table = ResultTable(title=payload["title"], columns=list(payload["columns"]),
+                        metadata=payload.get("metadata", {}))
+    for name, values in payload["rows"].items():
+        table.add_row(name, values)
+    return table
+
+
+def _jsonable(value):
+    """Best-effort conversion of metadata values into JSON-serialisable types."""
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)

@@ -1,0 +1,131 @@
+"""Task heads: ranking, classification and regression (Section IV).
+
+Each task wrapper binds a *scorer* — any module mapping a
+:class:`~repro.data.features.FeatureBatch` to a score tensor, i.e. SeqFM or
+any of the baselines — to the paper's task-specific loss:
+
+* ranking  → Bayesian Personalised Ranking loss over (positive, negative)
+  candidate pairs (Eq. 21);
+* classification → sigmoid output with log loss over observed positives and
+  sampled negatives (Eq. 23-24);
+* regression → squared error against the ground-truth rating (Eq. 26).
+
+The ``SeqFM*`` aliases construct the SeqFM scorer directly from a config so
+that ``SeqFMRanker(config)`` reads like the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.autograd import functional as F
+from repro.autograd.tensor import Tensor
+from repro.core.config import SeqFMConfig
+from repro.core.model import SeqFM
+from repro.data.features import FeatureBatch
+from repro.nn.module import Module
+
+
+class TaskModel(Module):
+    """Common base: wraps a scorer module and exposes prediction helpers."""
+
+    task: str = ""
+
+    def __init__(self, scorer: Module):
+        super().__init__()
+        self.scorer = scorer
+
+    def forward(self, batch: FeatureBatch) -> Tensor:
+        return self.scorer(batch)
+
+    def predict(self, batch: FeatureBatch) -> np.ndarray:
+        """Inference-mode raw scores (no graph)."""
+        return self.scorer.score(batch)
+
+    def loss(self, batch: FeatureBatch, negative_batch: Optional[FeatureBatch] = None) -> Tensor:
+        raise NotImplementedError
+
+
+class RankingTask(TaskModel):
+    """BPR-optimised ranking (next-POI recommendation, Section IV-A)."""
+
+    task = "ranking"
+
+    def loss(self, batch: FeatureBatch, negative_batch: Optional[FeatureBatch] = None) -> Tensor:
+        if negative_batch is None:
+            raise ValueError("ranking loss requires a negative candidate batch")
+        positive_scores = self.forward(batch)
+        negative_scores = self.forward(negative_batch)
+        return F.bpr_loss(positive_scores, negative_scores)
+
+
+class ClassificationTask(TaskModel):
+    """Sigmoid + log-loss classification (CTR prediction, Section IV-B)."""
+
+    task = "classification"
+
+    def loss(self, batch: FeatureBatch, negative_batch: Optional[FeatureBatch] = None) -> Tensor:
+        logits = self.forward(batch)
+        labels = batch.labels
+        if negative_batch is not None:
+            negative_logits = self.forward(negative_batch)
+            logits = Tensor.concatenate([logits, negative_logits], axis=0)
+            labels = np.concatenate([labels, np.zeros(len(negative_batch))])
+        return F.binary_cross_entropy_with_logits(logits, labels)
+
+    def predict_probability(self, batch: FeatureBatch) -> np.ndarray:
+        """σ(ŷ) ∈ (0, 1): the click probability of Eq. 23."""
+        logits = self.predict(batch)
+        return 1.0 / (1.0 + np.exp(-np.clip(logits, -60.0, 60.0)))
+
+
+class RegressionTask(TaskModel):
+    """Squared-error regression (rating prediction, Section IV-C)."""
+
+    task = "regression"
+
+    def loss(self, batch: FeatureBatch, negative_batch: Optional[FeatureBatch] = None) -> Tensor:
+        if negative_batch is not None:
+            raise ValueError("regression does not use negative sampling (paper §IV-C)")
+        predictions = self.forward(batch)
+        return F.mse_loss(predictions, batch.labels)
+
+
+class SeqFMRanker(RankingTask):
+    """SeqFM bound to the BPR ranking loss."""
+
+    def __init__(self, config: SeqFMConfig):
+        super().__init__(SeqFM(config))
+        self.config = config
+
+
+class SeqFMClassifier(ClassificationTask):
+    """SeqFM bound to the sigmoid/log-loss classification head."""
+
+    def __init__(self, config: SeqFMConfig):
+        super().__init__(SeqFM(config))
+        self.config = config
+
+
+class SeqFMRegressor(RegressionTask):
+    """SeqFM bound to the squared-error regression head."""
+
+    def __init__(self, config: SeqFMConfig):
+        super().__init__(SeqFM(config))
+        self.config = config
+
+
+_TASK_WRAPPERS = {
+    "ranking": RankingTask,
+    "classification": ClassificationTask,
+    "regression": RegressionTask,
+}
+
+
+def make_task_model(scorer: Module, task: str) -> TaskModel:
+    """Wrap any scorer (SeqFM or a baseline) with the requested task head."""
+    if task not in _TASK_WRAPPERS:
+        raise ValueError(f"unknown task {task!r}; expected one of {sorted(_TASK_WRAPPERS)}")
+    return _TASK_WRAPPERS[task](scorer)

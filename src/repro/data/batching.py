@@ -1,0 +1,62 @@
+"""Mini-batch iteration over encoded examples."""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.data.features import EncodedExample, FeatureBatch
+
+
+class BatchIterator:
+    """Iterate over :class:`EncodedExample` objects in shuffled mini-batches.
+
+    Parameters
+    ----------
+    examples:
+        The training instances.
+    batch_size:
+        Mini-batch size (the paper uses 512; the scaled-down reproduction
+        defaults to 128).
+    shuffle:
+        Whether to reshuffle at the start of every epoch.
+    seed:
+        Seed of the shuffling generator, for reproducibility.
+    drop_last:
+        Drop the final partial batch (kept by default).
+    """
+
+    def __init__(
+        self,
+        examples: Sequence[EncodedExample],
+        batch_size: int = 128,
+        shuffle: bool = True,
+        seed: int = 0,
+        drop_last: bool = False,
+    ):
+        if batch_size < 1:
+            raise ValueError("batch_size must be positive")
+        if not examples:
+            raise ValueError("BatchIterator needs at least one example")
+        self.examples: List[EncodedExample] = list(examples)
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self._rng = np.random.default_rng(seed)
+
+    def __len__(self) -> int:
+        full, remainder = divmod(len(self.examples), self.batch_size)
+        if remainder and not self.drop_last:
+            return full + 1
+        return full
+
+    def __iter__(self) -> Iterator[FeatureBatch]:
+        order = np.arange(len(self.examples))
+        if self.shuffle:
+            self._rng.shuffle(order)
+        for start in range(0, len(order), self.batch_size):
+            chunk = order[start:start + self.batch_size]
+            if self.drop_last and chunk.size < self.batch_size:
+                break
+            yield FeatureBatch.from_examples([self.examples[i] for i in chunk])

@@ -1,0 +1,278 @@
+"""Static/dynamic feature encoding (Section III of the paper).
+
+The paper splits the sparse input vector ``x`` into a **static view** (the
+user one-hot, the candidate object one-hot, plus optional side information)
+and a **dynamic view** (the chronological sequence of previously interacted
+objects, truncated/padded to a maximum length n˙).  Rather than materialising
+the one-hot matrices ``G°`` and ``G˙``, the encoder emits the *indices* of the
+non-zero features — mathematically identical input to the embedding layer
+(Eq. 5) at a fraction of the memory.
+
+Index layout
+------------
+* Static vocabulary: ``[0, num_users)`` are user features,
+  ``[num_users, num_users + num_objects)`` are candidate-object features,
+  followed by optional side-information features.
+* Dynamic vocabulary: index ``0`` is the padding feature (embedding pinned to
+  the zero vector, exactly the paper's ``{0}^{1×m˙}`` padding rows);
+  ``[1, num_objects]`` are the history objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.data.interactions import Interaction, InteractionLog
+
+PADDING_INDEX = 0
+
+
+@dataclass(frozen=True)
+class EncodedExample:
+    """One (user, candidate object, history) instance ready for a model.
+
+    Attributes
+    ----------
+    static_indices:
+        Indices of the non-zero static features (user, candidate, side info).
+    dynamic_indices:
+        Left-padded history of length ``max_seq_len``; older events first,
+        most recent last, ``PADDING_INDEX`` in unused leading slots.
+    dynamic_mask:
+        1.0 where ``dynamic_indices`` holds a real event, 0.0 on padding.
+    label:
+        Task target: 1/0 for classification, rating for regression, unused
+        (1.0) for ranking positives.
+    user_id / object_id:
+        The raw identifiers, kept for evaluation bookkeeping.
+    """
+
+    static_indices: np.ndarray
+    dynamic_indices: np.ndarray
+    dynamic_mask: np.ndarray
+    label: float
+    user_id: int
+    object_id: int
+
+
+@dataclass
+class FeatureBatch:
+    """A stacked batch of :class:`EncodedExample` objects.
+
+    All models in the repository (SeqFM and every baseline) consume this
+    structure; sequence-agnostic baselines simply ignore the ordering of
+    ``dynamic_indices``.
+    """
+
+    static_indices: np.ndarray   # (batch, n_static) int64
+    dynamic_indices: np.ndarray  # (batch, max_seq_len) int64
+    dynamic_mask: np.ndarray     # (batch, max_seq_len) float64
+    labels: np.ndarray           # (batch,) float64
+    user_ids: np.ndarray         # (batch,) int64
+    object_ids: np.ndarray       # (batch,) int64
+
+    def __len__(self) -> int:
+        return self.static_indices.shape[0]
+
+    @staticmethod
+    def from_examples(examples: Sequence[EncodedExample]) -> "FeatureBatch":
+        if not examples:
+            raise ValueError("cannot build a batch from zero examples")
+        return FeatureBatch(
+            static_indices=np.stack([example.static_indices for example in examples]),
+            dynamic_indices=np.stack([example.dynamic_indices for example in examples]),
+            dynamic_mask=np.stack([example.dynamic_mask for example in examples]),
+            labels=np.array([example.label for example in examples], dtype=np.float64),
+            user_ids=np.array([example.user_id for example in examples], dtype=np.int64),
+            object_ids=np.array([example.object_id for example in examples], dtype=np.int64),
+        )
+
+    def with_candidate(self, encoder: "FeatureEncoder", object_ids: np.ndarray) -> "FeatureBatch":
+        """Return a copy of the batch with the candidate object replaced.
+
+        Used by the BPR trainer (swap positive for sampled negative) and by
+        the ranking evaluation protocol (score J+1 candidates that share the
+        same user and history).
+        """
+        object_ids = np.asarray(object_ids, dtype=np.int64)
+        if object_ids.shape != self.object_ids.shape:
+            raise ValueError("candidate array must match the batch size")
+        static = self.static_indices.copy()
+        static[:, encoder.candidate_slot] = encoder.static_object_index(object_ids)
+        return FeatureBatch(
+            static_indices=static,
+            dynamic_indices=self.dynamic_indices,
+            dynamic_mask=self.dynamic_mask,
+            labels=self.labels,
+            user_ids=self.user_ids,
+            object_ids=object_ids,
+        )
+
+
+class FeatureEncoder:
+    """Build static/dynamic feature encodings from an interaction log.
+
+    Parameters
+    ----------
+    log:
+        The interaction log the vocabularies are derived from.  Users or
+        objects never seen here are rejected at encode time.
+    max_seq_len:
+        The paper's n˙ — maximum dynamic sequence length (default 20, the
+        paper's unified setting).
+    """
+
+    #: position of the user feature within ``static_indices``
+    user_slot = 0
+    #: position of the candidate object feature within ``static_indices``
+    candidate_slot = 1
+
+    def __init__(self, log: InteractionLog, max_seq_len: int = 20):
+        if max_seq_len < 1:
+            raise ValueError("max_seq_len must be at least 1")
+        self.max_seq_len = max_seq_len
+        self._user_to_index: Dict[int, int] = {
+            user: index for index, user in enumerate(sorted(log.users))
+        }
+        self._object_to_index: Dict[int, int] = {
+            obj: index for index, obj in enumerate(sorted(log.objects))
+        }
+        self.num_users = len(self._user_to_index)
+        self.num_objects = len(self._object_to_index)
+
+    # ------------------------------------------------------------------ #
+    # Vocabulary sizes
+    # ------------------------------------------------------------------ #
+    @property
+    def static_vocab_size(self) -> int:
+        """m° of the paper: user features + candidate-object features."""
+        return self.num_users + self.num_objects
+
+    @property
+    def dynamic_vocab_size(self) -> int:
+        """m˙ of the paper plus one padding feature at index 0."""
+        return self.num_objects + 1
+
+    @property
+    def num_static_features(self) -> int:
+        """n° of the paper: non-zero static features per instance."""
+        return 2
+
+    def known_objects(self) -> List[int]:
+        return sorted(self._object_to_index)
+
+    def known_users(self) -> List[int]:
+        return sorted(self._user_to_index)
+
+    # ------------------------------------------------------------------ #
+    # Index helpers
+    # ------------------------------------------------------------------ #
+    def static_user_index(self, user_id) -> np.ndarray:
+        return np.vectorize(self._user_to_index.__getitem__, otypes=[np.int64])(user_id)
+
+    def static_object_index(self, object_id) -> np.ndarray:
+        lookup = np.vectorize(self._object_to_index.__getitem__, otypes=[np.int64])(object_id)
+        return lookup + self.num_users
+
+    def dynamic_object_index(self, object_id) -> np.ndarray:
+        lookup = np.vectorize(self._object_to_index.__getitem__, otypes=[np.int64])(object_id)
+        return lookup + 1  # shift past the padding index
+
+    # ------------------------------------------------------------------ #
+    # Encoding
+    # ------------------------------------------------------------------ #
+    def encode(
+        self,
+        user_id: int,
+        candidate_object_id: int,
+        history: Sequence[Interaction],
+        label: float = 1.0,
+    ) -> EncodedExample:
+        """Encode one (user, candidate, history) instance.
+
+        ``history`` must be in chronological order; only the most recent
+        ``max_seq_len`` events are kept (paper §III), and shorter histories
+        are left-padded with the padding feature.
+        """
+        if user_id not in self._user_to_index:
+            raise KeyError(f"unknown user {user_id}")
+        if candidate_object_id not in self._object_to_index:
+            raise KeyError(f"unknown object {candidate_object_id}")
+
+        static_indices = np.array(
+            [
+                self._user_to_index[user_id],
+                self.num_users + self._object_to_index[candidate_object_id],
+            ],
+            dtype=np.int64,
+        )
+
+        recent = list(history)[-self.max_seq_len:]
+        dynamic = np.full(self.max_seq_len, PADDING_INDEX, dtype=np.int64)
+        mask = np.zeros(self.max_seq_len, dtype=np.float64)
+        offset = self.max_seq_len - len(recent)
+        for position, event in enumerate(recent):
+            dynamic[offset + position] = self._object_to_index[event.object_id] + 1
+            mask[offset + position] = 1.0
+
+        return EncodedExample(
+            static_indices=static_indices,
+            dynamic_indices=dynamic,
+            dynamic_mask=mask,
+            label=float(label),
+            user_id=user_id,
+            object_id=candidate_object_id,
+        )
+
+    def encode_training_instances(
+        self,
+        log: InteractionLog,
+        min_history: int = 1,
+        use_ratings: bool = False,
+    ) -> List[EncodedExample]:
+        """Expand every interaction into a next-object training instance.
+
+        For each user with chronological sequence ``o_1, ..., o_T`` the
+        instances are (history = o_1..o_{t-1}, candidate = o_t) for all t with
+        at least ``min_history`` preceding events — the standard sequential
+        training expansion the paper's protocol implies.
+        """
+        examples: List[EncodedExample] = []
+        for user_id, sequence in log.by_user().items():
+            if user_id not in self._user_to_index:
+                continue
+            for position in range(min_history, len(sequence)):
+                event = sequence[position]
+                if event.object_id not in self._object_to_index:
+                    continue
+                history = [
+                    past for past in sequence[:position] if past.object_id in self._object_to_index
+                ]
+                if len(history) < min_history:
+                    continue
+                label = float(event.rating) if use_ratings and event.rating is not None else 1.0
+                examples.append(self.encode(user_id, event.object_id, history, label=label))
+        return examples
+
+    def encode_heldout(
+        self,
+        heldout: Dict[int, Interaction],
+        history: Dict[int, List[Interaction]],
+        use_ratings: bool = False,
+    ) -> List[EncodedExample]:
+        """Encode the validation/test records of a leave-one-out split."""
+        examples: List[EncodedExample] = []
+        for user_id, event in sorted(heldout.items()):
+            if user_id not in self._user_to_index or event.object_id not in self._object_to_index:
+                continue
+            user_history = [
+                past for past in history.get(user_id, []) if past.object_id in self._object_to_index
+            ]
+            if not user_history:
+                continue
+            label = float(event.rating) if use_ratings and event.rating is not None else 1.0
+            examples.append(self.encode(user_id, event.object_id, user_history, label=label))
+        return examples

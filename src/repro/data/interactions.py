@@ -1,0 +1,115 @@
+"""Interaction-log data structures.
+
+An :class:`Interaction` is a single (user, object, timestamp[, rating]) event
+— a POI check-in, an ad click or a product rating depending on the task.  An
+:class:`InteractionLog` is a collection of interactions with efficient access
+to each user's chronological sequence, the shape every component downstream
+(filtering, splitting, encoding, evaluation) works with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Set
+
+
+@dataclass(frozen=True)
+class Interaction:
+    """A single user–object event.
+
+    Attributes
+    ----------
+    user_id:
+        Identifier of the acting user.
+    object_id:
+        Identifier of the POI / link / item, the paper's generic "object".
+    timestamp:
+        Monotone event time; only the relative order per user matters.
+    rating:
+        Explicit feedback value for regression datasets; ``None`` for the
+        implicit-feedback ranking/classification datasets.
+    """
+
+    user_id: int
+    object_id: int
+    timestamp: float
+    rating: Optional[float] = None
+
+
+@dataclass
+class InteractionLog:
+    """A set of interactions plus an optional human-readable dataset name."""
+
+    interactions: List[Interaction] = field(default_factory=list)
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        self._by_user: Optional[Dict[int, List[Interaction]]] = None
+
+    # ------------------------------------------------------------------ #
+    # Container protocol
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self.interactions)
+
+    def __iter__(self) -> Iterator[Interaction]:
+        return iter(self.interactions)
+
+    def append(self, interaction: Interaction) -> None:
+        self.interactions.append(interaction)
+        self._by_user = None
+
+    def extend(self, interactions: Iterable[Interaction]) -> None:
+        self.interactions.extend(interactions)
+        self._by_user = None
+
+    # ------------------------------------------------------------------ #
+    # Derived views
+    # ------------------------------------------------------------------ #
+    @property
+    def users(self) -> Set[int]:
+        return {interaction.user_id for interaction in self.interactions}
+
+    @property
+    def objects(self) -> Set[int]:
+        return {interaction.object_id for interaction in self.interactions}
+
+    def num_users(self) -> int:
+        return len(self.users)
+
+    def num_objects(self) -> int:
+        return len(self.objects)
+
+    def by_user(self) -> Dict[int, List[Interaction]]:
+        """Map each user to their interactions sorted chronologically.
+
+        The mapping is cached and invalidated whenever the log is mutated
+        through :meth:`append` / :meth:`extend`.
+        """
+        if self._by_user is None:
+            grouped: Dict[int, List[Interaction]] = {}
+            for interaction in self.interactions:
+                grouped.setdefault(interaction.user_id, []).append(interaction)
+            for sequence in grouped.values():
+                sequence.sort(key=lambda event: event.timestamp)
+            self._by_user = grouped
+        return self._by_user
+
+    def user_sequence(self, user_id: int) -> List[Interaction]:
+        """Chronological interaction sequence of one user (empty if unknown)."""
+        return self.by_user().get(user_id, [])
+
+    def objects_of_user(self, user_id: int) -> Set[int]:
+        return {interaction.object_id for interaction in self.user_sequence(user_id)}
+
+    def has_ratings(self) -> bool:
+        """Whether this log carries explicit feedback (regression datasets)."""
+        return any(interaction.rating is not None for interaction in self.interactions)
+
+    def statistics(self) -> Dict[str, int]:
+        """Headline statistics in the format of Table I of the paper."""
+        return {
+            "instances": len(self.interactions),
+            "users": self.num_users(),
+            "objects": self.num_objects(),
+        }

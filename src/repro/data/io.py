@@ -1,0 +1,205 @@
+"""Reading and writing interaction logs.
+
+Two pieces of functionality live here:
+
+* a simple, dependency-free on-disk format (CSV and JSON-lines) for
+  :class:`~repro.data.interactions.InteractionLog`, so generated or
+  preprocessed datasets can be cached and shared between runs;
+* loaders for the file formats of the *real* public datasets the paper uses
+  (Gowalla/Foursquare check-in dumps and Amazon rating CSVs), so anyone with
+  access to those files can run every experiment in this repository on the
+  original data instead of the synthetic stand-ins.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.data.interactions import Interaction, InteractionLog
+
+PathLike = Union[str, Path]
+
+_CSV_FIELDS = ["user_id", "object_id", "timestamp", "rating"]
+
+
+# --------------------------------------------------------------------------- #
+# Native CSV / JSONL round-trip
+# --------------------------------------------------------------------------- #
+def save_csv(log: InteractionLog, path: PathLike) -> None:
+    """Write a log as CSV with columns user_id, object_id, timestamp, rating."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(_CSV_FIELDS)
+        for event in log:
+            rating = "" if event.rating is None else repr(float(event.rating))
+            writer.writerow([event.user_id, event.object_id, repr(float(event.timestamp)), rating])
+
+
+def load_csv(path: PathLike, name: str = "") -> InteractionLog:
+    """Read a log written by :func:`save_csv` (extra columns are ignored)."""
+    path = Path(path)
+    log = InteractionLog(name=name or path.stem)
+    with path.open(newline="") as handle:
+        reader = csv.DictReader(handle)
+        missing = set(_CSV_FIELDS[:3]) - set(reader.fieldnames or [])
+        if missing:
+            raise ValueError(f"{path} is missing required columns: {sorted(missing)}")
+        for row in reader:
+            rating_text = (row.get("rating") or "").strip()
+            log.append(Interaction(
+                user_id=int(row["user_id"]),
+                object_id=int(row["object_id"]),
+                timestamp=float(row["timestamp"]),
+                rating=float(rating_text) if rating_text else None,
+            ))
+    return log
+
+
+def save_jsonl(log: InteractionLog, path: PathLike) -> None:
+    """Write a log as JSON-lines, one interaction object per line."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as handle:
+        for event in log:
+            record = {
+                "user_id": event.user_id,
+                "object_id": event.object_id,
+                "timestamp": event.timestamp,
+            }
+            if event.rating is not None:
+                record["rating"] = event.rating
+            handle.write(json.dumps(record) + "\n")
+
+
+def load_jsonl(path: PathLike, name: str = "") -> InteractionLog:
+    """Read a log written by :func:`save_jsonl`."""
+    path = Path(path)
+    log = InteractionLog(name=name or path.stem)
+    with path.open() as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ValueError(f"{path}:{line_number}: invalid JSON") from error
+            log.append(Interaction(
+                user_id=int(record["user_id"]),
+                object_id=int(record["object_id"]),
+                timestamp=float(record["timestamp"]),
+                rating=float(record["rating"]) if "rating" in record else None,
+            ))
+    return log
+
+
+# --------------------------------------------------------------------------- #
+# Loaders for the real public datasets (paper §V-A)
+# --------------------------------------------------------------------------- #
+def load_gowalla_checkins(path: PathLike, max_rows: Optional[int] = None) -> InteractionLog:
+    """Load the SNAP Gowalla check-in dump (``loc-gowalla_totalCheckins.txt``).
+
+    The file is tab-separated: ``user  check-in-time  latitude  longitude
+    location-id``.  Only the user, time and location columns are used; the
+    ISO-8601 timestamp is converted to seconds so chronological ordering works
+    exactly as with the synthetic generators.
+    """
+    from datetime import datetime, timezone
+
+    path = Path(path)
+    log = InteractionLog(name="gowalla")
+    with path.open() as handle:
+        for row_number, line in enumerate(handle):
+            if max_rows is not None and row_number >= max_rows:
+                break
+            parts = line.rstrip("\n").split("\t")
+            if len(parts) < 5:
+                continue
+            user_text, time_text, _, _, location_text = parts[:5]
+            try:
+                timestamp = datetime.strptime(time_text, "%Y-%m-%dT%H:%M:%SZ")
+                timestamp = timestamp.replace(tzinfo=timezone.utc).timestamp()
+                log.append(Interaction(
+                    user_id=int(user_text),
+                    object_id=int(location_text),
+                    timestamp=float(timestamp),
+                ))
+            except (ValueError, OverflowError):
+                continue
+    return log
+
+
+def load_foursquare_checkins(path: PathLike, max_rows: Optional[int] = None) -> InteractionLog:
+    """Load the global-scale Foursquare check-in file (Yang et al.).
+
+    The file is tab-separated: ``user_id  venue_id  utc_time  timezone_offset``;
+    venue ids are strings and are mapped to dense integer ids on the fly.
+    """
+    from datetime import datetime, timezone
+
+    path = Path(path)
+    log = InteractionLog(name="foursquare")
+    venue_ids: dict = {}
+    with path.open(errors="replace") as handle:
+        for row_number, line in enumerate(handle):
+            if max_rows is not None and row_number >= max_rows:
+                break
+            parts = line.rstrip("\n").split("\t")
+            if len(parts) < 3:
+                continue
+            user_text, venue_text, time_text = parts[0], parts[1], parts[2]
+            try:
+                timestamp = datetime.strptime(time_text, "%a %b %d %H:%M:%S +0000 %Y")
+                timestamp = timestamp.replace(tzinfo=timezone.utc).timestamp()
+            except ValueError:
+                continue
+            venue_index = venue_ids.setdefault(venue_text, len(venue_ids))
+            try:
+                log.append(Interaction(
+                    user_id=int(user_text),
+                    object_id=venue_index,
+                    timestamp=float(timestamp),
+                ))
+            except ValueError:
+                continue
+    return log
+
+
+def load_amazon_ratings(path: PathLike, max_rows: Optional[int] = None) -> InteractionLog:
+    """Load an Amazon "ratings only" CSV (``user,item,rating,timestamp``).
+
+    This is the format of the per-category files (Beauty, Toys & Games, ...)
+    from the SNAP Amazon product data the paper uses for the regression task.
+    User and item ids are alphanumeric strings and are densified on the fly.
+    """
+    path = Path(path)
+    log = InteractionLog(name=path.stem)
+    user_ids: dict = {}
+    item_ids: dict = {}
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        for row_number, row in enumerate(reader):
+            if max_rows is not None and row_number >= max_rows:
+                break
+            if len(row) < 4:
+                continue
+            user_text, item_text, rating_text, time_text = row[:4]
+            try:
+                rating = float(rating_text)
+                timestamp = float(time_text)
+            except ValueError:
+                continue  # header or malformed row
+            user_index = user_ids.setdefault(user_text, len(user_ids))
+            item_index = item_ids.setdefault(item_text, len(item_ids))
+            log.append(Interaction(
+                user_id=user_index,
+                object_id=item_index,
+                timestamp=timestamp,
+                rating=rating,
+            ))
+    return log

@@ -1,0 +1,106 @@
+"""Negative sampling for the ranking and classification tasks.
+
+The paper draws 5 negative samples per positive during training (§IV-D) and,
+at evaluation time, ranks the ground-truth object against J sampled objects
+the user never interacted with (§V-C) for ranking, or one sampled negative
+per positive for classification.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set
+
+import numpy as np
+
+from repro.data.interactions import InteractionLog
+
+
+class NegativeSampler:
+    """Sample objects a user has never interacted with.
+
+    Parameters
+    ----------
+    log:
+        The full interaction log (train + held-out) used to build the per-user
+        "seen" sets, so evaluation negatives are genuinely unobserved.
+    objects:
+        The candidate universe; defaults to every object in the log.
+    seed:
+        Seed for the internal generator, making sampling reproducible.
+    """
+
+    def __init__(
+        self,
+        log: InteractionLog,
+        objects: Optional[Sequence[int]] = None,
+        seed: int = 0,
+    ):
+        self._rng = np.random.default_rng(seed)
+        self._objects = np.array(sorted(objects if objects is not None else log.objects), dtype=np.int64)
+        if self._objects.size == 0:
+            raise ValueError("negative sampler needs a non-empty object universe")
+        self._seen: Dict[int, Set[int]] = {
+            user: set(log.objects_of_user(user)) for user in log.users
+        }
+
+    @property
+    def object_universe(self) -> np.ndarray:
+        return self._objects
+
+    def seen(self, user_id: int) -> Set[int]:
+        return self._seen.get(user_id, set())
+
+    def mark_seen(self, user_id: int, object_id: int) -> None:
+        """Add an interaction to the user's seen set (e.g. held-out records)."""
+        self._seen.setdefault(user_id, set()).add(object_id)
+
+    def sample_for_user(self, user_id: int, count: int) -> np.ndarray:
+        """Draw ``count`` objects the user never interacted with (no replacement
+        within a call, falling back to with-replacement when the unseen pool is
+        smaller than ``count``)."""
+        if count < 1:
+            raise ValueError("count must be positive")
+        seen = self._seen.get(user_id, set())
+        unseen = self._objects[~np.isin(self._objects, list(seen))] if seen else self._objects
+        if unseen.size == 0:
+            # Degenerate case: the user has interacted with everything.
+            return self._rng.choice(self._objects, size=count, replace=True)
+        replace = unseen.size < count
+        return self._rng.choice(unseen, size=count, replace=replace)
+
+    def sample_batch(self, user_ids: np.ndarray, positives: np.ndarray) -> np.ndarray:
+        """One negative per (user, positive) pair; vectorised rejection sampling.
+
+        Most draws from a sparse interaction log are already unseen, so a few
+        rounds of resampling the collisions is much faster than per-user set
+        differences.
+        """
+        user_ids = np.asarray(user_ids)
+        positives = np.asarray(positives)
+        negatives = self._rng.choice(self._objects, size=user_ids.shape[0], replace=True)
+        for _ in range(20):
+            collisions = np.array([
+                negatives[i] == positives[i] or negatives[i] in self._seen.get(int(user_ids[i]), set())
+                for i in range(user_ids.shape[0])
+            ])
+            if not collisions.any():
+                break
+            resampled = self._rng.choice(self._objects, size=int(collisions.sum()), replace=True)
+            negatives[collisions] = resampled
+        return negatives
+
+    def evaluation_candidates(self, user_id: int, ground_truth: int, num_negatives: int) -> np.ndarray:
+        """Ground truth + ``num_negatives`` unseen objects (paper §V-C).
+
+        The ground-truth object is placed first; evaluation code shuffles or
+        ranks by score so the position does not matter.
+        """
+        negatives = self.sample_for_user(user_id, num_negatives)
+        negatives = negatives[negatives != ground_truth]
+        while negatives.size < num_negatives:
+            extra = self.sample_for_user(user_id, num_negatives - negatives.size)
+            extra = extra[extra != ground_truth]
+            negatives = np.concatenate([negatives, extra]) if extra.size else negatives
+            if negatives.size == 0 and self._objects.size <= 1:
+                break
+        return np.concatenate([[ground_truth], negatives[:num_negatives]]).astype(np.int64)

@@ -1,0 +1,37 @@
+"""Evaluation metrics and the paper's leave-one-out protocols (Section V-C).
+
+* ranking — HR@K and NDCG@K over the ground truth plus J sampled negatives;
+* classification — AUC and RMSE over positives and one sampled negative each;
+* regression — MAE and RRSE over the held-out ratings.
+"""
+
+from repro.eval.ranking import hit_ratio_at_k, ndcg_at_k, evaluate_ranking, RankingMetrics
+from repro.eval.classification import (
+    auc_score,
+    rmse_score,
+    evaluate_classification,
+    ClassificationMetrics,
+)
+from repro.eval.regression import (
+    mean_absolute_error,
+    root_relative_squared_error,
+    evaluate_regression,
+    RegressionMetrics,
+)
+from repro.eval.protocol import EvaluationProtocol
+
+__all__ = [
+    "hit_ratio_at_k",
+    "ndcg_at_k",
+    "evaluate_ranking",
+    "RankingMetrics",
+    "auc_score",
+    "rmse_score",
+    "evaluate_classification",
+    "ClassificationMetrics",
+    "mean_absolute_error",
+    "root_relative_squared_error",
+    "evaluate_regression",
+    "RegressionMetrics",
+    "EvaluationProtocol",
+]

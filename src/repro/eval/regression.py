@@ -1,0 +1,55 @@
+"""Regression metrics: MAE and RRSE (Eq. 28 of the paper)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+
+@dataclass
+class RegressionMetrics:
+    mae: float
+    rrse: float
+    num_cases: int = 0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {"MAE": self.mae, "RRSE": self.rrse}
+
+
+def mean_absolute_error(targets: np.ndarray, predictions: np.ndarray) -> float:
+    """MAE = mean |ŷ - y|."""
+    targets = np.asarray(targets, dtype=np.float64)
+    predictions = np.asarray(predictions, dtype=np.float64)
+    if targets.shape != predictions.shape:
+        raise ValueError("targets and predictions must have the same shape")
+    return float(np.mean(np.abs(predictions - targets)))
+
+
+def root_relative_squared_error(targets: np.ndarray, predictions: np.ndarray) -> float:
+    """RRSE = sqrt( Σ(ŷ-y)² / Σ(y-ȳ)² ) — squared error relative to predicting the mean.
+
+    The paper's Eq. 28 writes the denominator as ``|S| · VAR`` which equals the
+    total squared deviation from the test-set mean used here.
+    """
+    targets = np.asarray(targets, dtype=np.float64)
+    predictions = np.asarray(predictions, dtype=np.float64)
+    if targets.shape != predictions.shape:
+        raise ValueError("targets and predictions must have the same shape")
+    total_squared_error = np.sum((predictions - targets) ** 2)
+    total_variance = np.sum((targets - targets.mean()) ** 2)
+    if total_variance == 0:
+        # Constant test targets: any non-zero error is infinitely worse than
+        # the mean predictor; a perfect prediction scores 0.
+        return 0.0 if total_squared_error == 0 else float("inf")
+    return float(np.sqrt(total_squared_error / total_variance))
+
+
+def evaluate_regression(targets: np.ndarray, predictions: np.ndarray) -> RegressionMetrics:
+    """MAE + RRSE over a set of held-out ratings."""
+    return RegressionMetrics(
+        mae=mean_absolute_error(targets, predictions),
+        rrse=root_relative_squared_error(targets, predictions),
+        num_cases=int(np.asarray(targets).size),
+    )

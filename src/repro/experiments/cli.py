@@ -1,0 +1,165 @@
+"""Command-line interface for the experiment harness.
+
+Regenerate any table or figure of the paper from the shell::
+
+    python -m repro.experiments.cli table2 --scale quick
+    python -m repro.experiments.cli table5 --datasets gowalla beauty
+    python -m repro.experiments.cli figure4 --output results/figure4.json
+    python -m repro.experiments.cli all --scale small --output-dir results/
+
+``--output`` / ``--output-dir`` export the regenerated tables as JSON via
+:mod:`repro.core.serialization` so runs can be archived and diffed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.experiments import (
+    reference,
+    run_figure3,
+    run_figure4,
+    run_table1,
+    run_table2,
+    run_table3,
+    run_table4,
+    run_table5,
+)
+from repro.experiments.reporting import ResultTable, compare_to_paper
+
+EXPERIMENTS = ("table1", "table2", "table3", "table4", "table5", "figure3", "figure4")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the tables and figures of the SeqFM paper (ICDE 2020).",
+    )
+    parser.add_argument("experiment", choices=EXPERIMENTS + ("all",),
+                        help="which artefact to regenerate")
+    parser.add_argument("--scale", default="quick", choices=("quick", "small", "full"),
+                        help="dataset / training size (default: quick)")
+    parser.add_argument("--datasets", nargs="*", default=None,
+                        help="restrict to specific datasets (defaults to the paper's choice)")
+    parser.add_argument("--seed", type=int, default=0, help="training seed")
+    parser.add_argument("--output", type=Path, default=None,
+                        help="write the result of a single experiment as JSON")
+    parser.add_argument("--output-dir", type=Path, default=None,
+                        help="directory for JSON exports when running 'all'")
+    return parser
+
+
+def _print_tables(tables: Dict[str, ResultTable], paper: Dict[str, dict]) -> None:
+    for dataset, table in tables.items():
+        print(table)
+        if dataset in paper:
+            print()
+            print(compare_to_paper(table, paper[dataset]))
+        print()
+
+
+def _export(table: ResultTable, path: Path) -> None:
+    from repro.core.serialization import save_result_table
+
+    save_result_table(table, path)
+    print(f"wrote {path}")
+
+
+def run_experiment(name: str, scale: str, datasets: Optional[List[str]], seed: int,
+                   output: Optional[Path] = None) -> None:
+    """Run one experiment, print its result and optionally export it."""
+    if name == "table1":
+        table = run_table1(datasets=tuple(datasets) if datasets else
+                           ("gowalla", "foursquare", "trivago", "taobao", "beauty", "toys"),
+                           scale=scale)
+        print(table)
+        if output:
+            _export(table, output)
+        return
+
+    if name in ("table2", "table3", "table4"):
+        runner = {"table2": run_table2, "table3": run_table3, "table4": run_table4}[name]
+        paper = {"table2": reference.TABLE2_RANKING,
+                 "table3": reference.TABLE3_CLASSIFICATION,
+                 "table4": reference.TABLE4_REGRESSION}[name]
+        kwargs = {"scale": scale, "seed": seed}
+        if datasets:
+            kwargs["datasets"] = tuple(datasets)
+        tables = runner(**kwargs)
+        _print_tables(tables, paper)
+        if output:
+            for dataset, table in tables.items():
+                _export(table, output.with_name(f"{output.stem}_{dataset}{output.suffix or '.json'}"))
+        return
+
+    if name == "table5":
+        kwargs = {"scale": scale, "seed": seed}
+        if datasets:
+            kwargs["datasets"] = tuple(datasets)
+        table = run_table5(**kwargs)
+        print(table)
+        if output:
+            _export(table, output)
+        return
+
+    if name == "figure3":
+        kwargs = {"scale": scale, "seed": seed}
+        if datasets:
+            kwargs["datasets"] = tuple(datasets)
+        series_list = run_figure3(**kwargs)
+        payload = []
+        for series in series_list:
+            print(f"{series.dataset} [{series.metric}] vs {series.hyperparameter}: "
+                  f"{series.as_dict()}  best={series.best_value()}")
+            payload.append({
+                "dataset": series.dataset, "task": series.task,
+                "hyperparameter": series.hyperparameter, "metric": series.metric,
+                "values": [str(v) for v in series.values], "scores": series.scores,
+            })
+        if output:
+            output.parent.mkdir(parents=True, exist_ok=True)
+            output.write_text(json.dumps(payload, indent=2))
+            print(f"wrote {output}")
+        return
+
+    if name == "figure4":
+        result = run_figure4(scale=scale, seed=seed)
+        print(f"Figure 4 — training time on {result.dataset}")
+        for proportion, seconds, count in zip(result.proportions, result.train_seconds,
+                                              result.num_examples):
+            print(f"  proportion={proportion:.1f}  examples={count:5d}  time={seconds:7.2f}s")
+        print(f"  linear fit R^2 = {result.linear_r_squared:.4f}")
+        if output:
+            output.parent.mkdir(parents=True, exist_ok=True)
+            output.write_text(json.dumps({
+                "dataset": result.dataset,
+                "proportions": result.proportions,
+                "train_seconds": result.train_seconds,
+                "num_examples": result.num_examples,
+                "linear_r_squared": result.linear_r_squared,
+            }, indent=2))
+            print(f"wrote {output}")
+        return
+
+    raise ValueError(f"unknown experiment {name!r}")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.experiment == "all":
+        output_dir = args.output_dir
+        for name in EXPERIMENTS:
+            print(f"\n===== {name} =====")
+            output = (output_dir / f"{name}.json") if output_dir else None
+            run_experiment(name, args.scale, args.datasets, args.seed, output)
+        return 0
+    run_experiment(args.experiment, args.scale, args.datasets, args.seed, args.output)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

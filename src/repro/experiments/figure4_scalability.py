@@ -1,0 +1,91 @@
+"""Figure 4 — training time of SeqFM w.r.t. varied data proportions.
+
+The paper trains SeqFM on {0.2, 0.4, 0.6, 0.8, 1.0} of the Trivago training
+data and shows that training time grows approximately linearly with data
+size.  This runner measures the wall-clock training time at each proportion
+on the Trivago-like dataset and fits a least-squares line so the linearity
+claim (Section III-I / VI-D) can be checked quantitatively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.core.trainer import Trainer
+from repro.data.split import proportion_subset
+from repro.experiments.registry import build_context
+from repro.experiments.runners import build_model
+
+
+@dataclass
+class ScalabilityResult:
+    """Training time per data proportion plus a linear fit."""
+
+    dataset: str
+    proportions: List[float] = field(default_factory=list)
+    train_seconds: List[float] = field(default_factory=list)
+    num_examples: List[int] = field(default_factory=list)
+    linear_r_squared: float = 0.0
+
+    def as_dict(self) -> Dict[float, float]:
+        return dict(zip(self.proportions, self.train_seconds))
+
+    def fit_line(self) -> None:
+        """Least-squares fit of time vs. proportion; stores R² of the fit."""
+        x = np.asarray(self.proportions, dtype=np.float64)
+        y = np.asarray(self.train_seconds, dtype=np.float64)
+        if len(x) < 2 or np.allclose(y, y[0]):
+            self.linear_r_squared = 1.0
+            return
+        slope, intercept = np.polyfit(x, y, 1)
+        predicted = slope * x + intercept
+        residual = np.sum((y - predicted) ** 2)
+        total = np.sum((y - y.mean()) ** 2)
+        self.linear_r_squared = float(1.0 - residual / total) if total > 0 else 1.0
+
+
+def run_figure4(
+    dataset: str = "trivago",
+    proportions: Sequence[float] = (0.2, 0.4, 0.6, 0.8, 1.0),
+    scale: str = "quick",
+    epochs: int = 1,
+    seed: int = 0,
+) -> ScalabilityResult:
+    """Measure SeqFM training time at increasing training-data proportions."""
+    context = build_context(dataset, scale=scale)
+    result = ScalabilityResult(dataset=dataset)
+
+    for proportion in proportions:
+        subset_log = proportion_subset(context.split.train, proportion)
+        subset_examples = context.encoder.encode_training_instances(subset_log)
+        if not subset_examples:
+            continue
+        task_model = build_model(context, "SeqFM", seed=seed)
+        trainer = Trainer(
+            task_model,
+            context.encoder,
+            sampler=context.sampler if context.task != "regression" else None,
+            config=context.trainer_config(epochs=epochs, convergence_tolerance=0.0),
+        )
+        training = trainer.fit(subset_examples)
+        result.proportions.append(float(proportion))
+        result.train_seconds.append(training.train_seconds)
+        result.num_examples.append(len(subset_examples))
+
+    result.fit_line()
+    return result
+
+
+def main() -> None:
+    result = run_figure4()
+    print(f"Figure 4 — SeqFM training time on {result.dataset} (1 epoch per point)")
+    for proportion, seconds, count in zip(result.proportions, result.train_seconds, result.num_examples):
+        print(f"  proportion={proportion:.1f}  examples={count:5d}  time={seconds:7.2f}s")
+    print(f"  linear fit R^2 = {result.linear_r_squared:.4f}")
+
+
+if __name__ == "__main__":
+    main()

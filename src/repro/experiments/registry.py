@@ -1,0 +1,148 @@
+"""Experiment contexts: dataset + split + encoder + sampler bundles.
+
+The experiment runners all need the same prepared objects for a dataset:
+the filtered interaction log, its leave-one-out split, the feature encoder,
+the negative sampler and the encoded training instances.  ``build_context``
+assembles them at one of three scales:
+
+* ``quick`` — tiny datasets and few epochs; used by the pytest benchmarks so
+  the whole suite regenerates every table in minutes on a CPU;
+* ``small`` — the default synthetic dataset sizes from :mod:`repro.data.synthetic`;
+* ``full``  — larger synthetic datasets for higher-fidelity runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.config import SeqFMConfig
+from repro.core.trainer import TrainerConfig
+from repro.data import synthetic
+from repro.data.features import EncodedExample, FeatureEncoder
+from repro.data.interactions import InteractionLog
+from repro.data.preprocess import chronological_sort, filter_by_activity
+from repro.data.sampling import NegativeSampler
+from repro.data.split import LeaveOneOutSplit, leave_one_out_split
+
+
+@dataclass(frozen=True)
+class ScaleSpec:
+    """Dataset and training sizes for one experiment scale."""
+
+    users: int
+    objects: int
+    interactions_per_user: int
+    epochs: int
+    embed_dim: int
+    max_seq_len: int
+    ranking_negatives: int
+    batch_size: int
+    negatives_per_positive: int
+    learning_rate: float = 5e-3
+
+
+SCALES: Dict[str, ScaleSpec] = {
+    "quick": ScaleSpec(users=70, objects=90, interactions_per_user=20, epochs=8,
+                       embed_dim=16, max_seq_len=10, ranking_negatives=50,
+                       batch_size=64, negatives_per_positive=2, learning_rate=8e-3),
+    "small": ScaleSpec(users=150, objects=220, interactions_per_user=30, epochs=5,
+                       embed_dim=32, max_seq_len=20, ranking_negatives=100,
+                       batch_size=128, negatives_per_positive=2),
+    "full": ScaleSpec(users=400, objects=600, interactions_per_user=40, epochs=8,
+                      embed_dim=64, max_seq_len=20, ranking_negatives=200,
+                      batch_size=256, negatives_per_positive=2),
+}
+
+# Which synthetic generator and activity threshold backs each dataset name.
+_GENERATORS = {
+    "gowalla": (synthetic.generate_poi_checkins, {"sequential_strength": 0.8}, "ranking", 11),
+    "foursquare": (synthetic.generate_poi_checkins, {"sequential_strength": 0.75}, "ranking", 13),
+    "trivago": (synthetic.generate_ctr_log, {"sequential_strength": 0.8}, "classification", 17),
+    "taobao": (synthetic.generate_ctr_log, {"sequential_strength": 0.85}, "classification", 19),
+    "beauty": (synthetic.generate_rating_log, {"sequential_strength": 0.8}, "regression", 23),
+    "toys": (synthetic.generate_rating_log, {"sequential_strength": 0.75}, "regression", 29),
+}
+
+
+@dataclass
+class ExperimentContext:
+    """Everything a runner needs for one dataset at one scale."""
+
+    dataset: str
+    task: str
+    scale: ScaleSpec
+    log: InteractionLog
+    split: LeaveOneOutSplit
+    encoder: FeatureEncoder
+    sampler: NegativeSampler
+    train_examples: List[EncodedExample]
+
+    def seqfm_config(self, **overrides) -> SeqFMConfig:
+        """A SeqFM configuration sized for this context."""
+        params = dict(
+            static_vocab_size=self.encoder.static_vocab_size,
+            dynamic_vocab_size=self.encoder.dynamic_vocab_size,
+            num_static_features=self.encoder.num_static_features,
+            max_seq_len=self.encoder.max_seq_len,
+            embed_dim=self.scale.embed_dim,
+            ffn_layers=1,
+            dropout=0.2,
+            seed=0,
+        )
+        params.update(overrides)
+        return SeqFMConfig(**params)
+
+    def trainer_config(self, **overrides) -> TrainerConfig:
+        params = dict(
+            epochs=self.scale.epochs,
+            batch_size=self.scale.batch_size,
+            learning_rate=self.scale.learning_rate,
+            negatives_per_positive=self.scale.negatives_per_positive,
+            seed=0,
+        )
+        params.update(overrides)
+        return TrainerConfig(**params)
+
+
+def build_context(dataset: str, scale: str = "quick",
+                  max_seq_len: Optional[int] = None,
+                  seed_offset: int = 0) -> ExperimentContext:
+    """Generate, filter, split and encode one dataset at the requested scale."""
+    key = dataset.lower()
+    if key not in _GENERATORS:
+        raise KeyError(f"unknown dataset {dataset!r}; known: {sorted(_GENERATORS)}")
+    if scale not in SCALES:
+        raise KeyError(f"unknown scale {scale!r}; known: {sorted(SCALES)}")
+
+    generator, extra, task, seed = _GENERATORS[key]
+    spec = SCALES[scale]
+    config = synthetic.SyntheticConfig(
+        num_users=spec.users,
+        num_objects=spec.objects,
+        interactions_per_user=spec.interactions_per_user,
+        seed=seed + seed_offset,
+        sequential_strength=extra["sequential_strength"],
+    )
+    log = generator(config)
+    log.name = f"{key}-like"
+    min_activity = 5 if task == "regression" else 8
+    log = filter_by_activity(log, min_user_interactions=min_activity, min_object_interactions=3)
+    log = chronological_sort(log)
+
+    split = leave_one_out_split(log)
+    encoder = FeatureEncoder(log, max_seq_len=max_seq_len or spec.max_seq_len)
+    sampler = NegativeSampler(log, seed=seed)
+    use_ratings = task == "regression"
+    train_examples = encoder.encode_training_instances(split.train, use_ratings=use_ratings)
+
+    return ExperimentContext(
+        dataset=key,
+        task=task,
+        scale=spec,
+        log=log,
+        split=split,
+        encoder=encoder,
+        sampler=sampler,
+        train_examples=train_examples,
+    )

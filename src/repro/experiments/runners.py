@@ -1,0 +1,83 @@
+"""Shared train-and-evaluate machinery used by the table/figure runners."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.baselines import BASELINE_REGISTRY
+from repro.core.model import SeqFM
+from repro.core.tasks import TaskModel, make_task_model
+from repro.core.trainer import Trainer, TrainerConfig, TrainingResult
+from repro.eval.protocol import EvaluationProtocol
+from repro.experiments.registry import ExperimentContext
+
+
+def build_model(context: ExperimentContext, model_name: str, seed: int = 0,
+                **seqfm_overrides) -> TaskModel:
+    """Instantiate SeqFM or a named baseline wrapped with the context's task head."""
+    if model_name == "SeqFM":
+        scorer = SeqFM(context.seqfm_config(seed=seed, **seqfm_overrides))
+    elif model_name in BASELINE_REGISTRY:
+        baseline_cls = BASELINE_REGISTRY[model_name]
+        kwargs = dict(
+            static_vocab_size=context.encoder.static_vocab_size,
+            dynamic_vocab_size=context.encoder.dynamic_vocab_size,
+            embed_dim=context.scale.embed_dim,
+            seed=seed,
+        )
+        if model_name == "SASRec":
+            kwargs["max_seq_len"] = context.encoder.max_seq_len
+        scorer = baseline_cls(**kwargs)
+    else:
+        raise KeyError(f"unknown model {model_name!r}")
+    return make_task_model(scorer, context.task)
+
+
+def train_model(
+    context: ExperimentContext,
+    task_model: TaskModel,
+    trainer_config: Optional[TrainerConfig] = None,
+) -> TrainingResult:
+    """Fit a task model on the context's training instances."""
+    trainer = Trainer(
+        task_model,
+        context.encoder,
+        sampler=context.sampler if context.task != "regression" else None,
+        config=trainer_config or context.trainer_config(),
+    )
+    return trainer.fit(context.train_examples)
+
+
+def evaluate_model(
+    context: ExperimentContext,
+    task_model: TaskModel,
+    max_users: Optional[int] = None,
+) -> Dict[str, float]:
+    """Run the paper's leave-one-out protocol for the context's task."""
+    protocol = EvaluationProtocol(
+        context.encoder,
+        sampler=context.sampler,
+        num_ranking_negatives=context.scale.ranking_negatives,
+        seed=7,
+    )
+    return protocol.evaluate(task_model, context.split, context.task, max_users=max_users)
+
+
+def train_and_evaluate(
+    context: ExperimentContext,
+    model_name: str,
+    seed: int = 0,
+    trainer_config: Optional[TrainerConfig] = None,
+    max_users: Optional[int] = None,
+    **seqfm_overrides,
+) -> Dict[str, float]:
+    """Build, train and evaluate a model; returns the metric dictionary.
+
+    The training wall-clock time is added under the key ``train_seconds`` so
+    runners that need it (Figure 4) do not have to re-train.
+    """
+    task_model = build_model(context, model_name, seed=seed, **seqfm_overrides)
+    training = train_model(context, task_model, trainer_config)
+    metrics = evaluate_model(context, task_model, max_users=max_users)
+    metrics["train_seconds"] = training.train_seconds
+    return metrics

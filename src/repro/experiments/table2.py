@@ -1,0 +1,57 @@
+"""Table II — ranking task (next-POI recommendation).
+
+Trains SeqFM and the paper's ranking baselines (FM, Wide&Deep, DeepCross,
+NFM, AFM, SASRec, TFM) on the Gowalla-like and Foursquare-like datasets with
+the BPR loss and reports HR@K / NDCG@K for K ∈ {5, 10, 20} under the
+leave-one-out protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.experiments import reference
+from repro.experiments.registry import build_context
+from repro.experiments.reporting import ResultTable, compare_to_paper
+from repro.experiments.runners import train_and_evaluate
+
+RANKING_DATASETS = ("gowalla", "foursquare")
+RANKING_MODELS = ("FM", "Wide&Deep", "DeepCross", "NFM", "AFM", "SASRec", "TFM", "SeqFM")
+RANKING_COLUMNS = ["HR@5", "HR@10", "HR@20", "NDCG@5", "NDCG@10", "NDCG@20"]
+
+
+def run_table2(
+    datasets: Sequence[str] = RANKING_DATASETS,
+    models: Sequence[str] = RANKING_MODELS,
+    scale: str = "quick",
+    seed: int = 0,
+) -> Dict[str, ResultTable]:
+    """Regenerate Table II; returns one ResultTable per dataset."""
+    tables: Dict[str, ResultTable] = {}
+    for dataset in datasets:
+        context = build_context(dataset, scale=scale)
+        table = ResultTable(
+            title=f"Table II — ranking on {dataset} (scale={scale})",
+            columns=RANKING_COLUMNS,
+        )
+        for model_name in models:
+            metrics = train_and_evaluate(context, model_name, seed=seed)
+            table.add_row(model_name, {column: metrics[column] for column in RANKING_COLUMNS})
+        table.metadata["paper"] = reference.TABLE2_RANKING.get(dataset, {})
+        table.metadata["dataset_statistics"] = context.log.statistics()
+        tables[dataset] = table
+    return tables
+
+
+def main() -> None:
+    tables = run_table2()
+    for dataset, table in tables.items():
+        print(table)
+        print()
+        print(compare_to_paper(table, reference.TABLE2_RANKING[dataset],
+                               columns=["HR@10", "NDCG@10"]))
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Table IV — regression task (rating prediction).
+
+Trains SeqFM and the regression baselines (FM, Wide&Deep, DeepCross, NFM,
+AFM, RRN, HOFM) on the Beauty-like and Toys-like rating datasets with the
+squared-error loss and reports MAE / RRSE on the held-out ratings.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.experiments import reference
+from repro.experiments.registry import build_context
+from repro.experiments.reporting import ResultTable, compare_to_paper
+from repro.experiments.runners import train_and_evaluate
+
+REGRESSION_DATASETS = ("beauty", "toys")
+REGRESSION_MODELS = ("FM", "Wide&Deep", "DeepCross", "NFM", "AFM", "RRN", "HOFM", "SeqFM")
+REGRESSION_COLUMNS = ["MAE", "RRSE"]
+
+
+def run_table4(
+    datasets: Sequence[str] = REGRESSION_DATASETS,
+    models: Sequence[str] = REGRESSION_MODELS,
+    scale: str = "quick",
+    seed: int = 0,
+) -> Dict[str, ResultTable]:
+    """Regenerate Table IV; returns one ResultTable per dataset."""
+    tables: Dict[str, ResultTable] = {}
+    for dataset in datasets:
+        context = build_context(dataset, scale=scale)
+        table = ResultTable(
+            title=f"Table IV — rating regression on {dataset} (scale={scale})",
+            columns=REGRESSION_COLUMNS,
+        )
+        for model_name in models:
+            metrics = train_and_evaluate(context, model_name, seed=seed)
+            table.add_row(model_name, {column: metrics[column] for column in REGRESSION_COLUMNS})
+        table.metadata["paper"] = reference.TABLE4_REGRESSION.get(dataset, {})
+        table.metadata["dataset_statistics"] = context.log.statistics()
+        tables[dataset] = table
+    return tables
+
+
+def main() -> None:
+    tables = run_table4()
+    for dataset, table in tables.items():
+        print(table)
+        print()
+        print(compare_to_paper(table, reference.TABLE4_REGRESSION[dataset]))
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""Table V — ablation test with different model architectures.
+
+Evaluates degraded SeqFM variants (one per removed component) on one dataset
+per task, mirroring Table V of the paper:
+
+* ``Remove SV`` — no static view;
+* ``Remove DV`` — no dynamic view;
+* ``Remove CV`` — no cross view;
+* ``Remove RC`` — no residual connections in the feed-forward network;
+* ``Remove LN`` — no layer normalisation.
+
+Two extra variants cover design choices called out in DESIGN.md §6:
+``Separate FFN`` (per-view feed-forward networks instead of the shared one)
+and ``Last pooling`` (read out the final sequence position instead of the
+intra-view mean).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.experiments import reference
+from repro.experiments.registry import build_context
+from repro.experiments.reporting import ResultTable
+from repro.experiments.runners import train_and_evaluate
+
+#: Architecture name → SeqFMConfig overrides.
+ABLATION_VARIANTS: Dict[str, Dict[str, object]] = {
+    "Default": {},
+    "Remove SV": {"use_static_view": False},
+    "Remove DV": {"use_dynamic_view": False},
+    "Remove CV": {"use_cross_view": False},
+    "Remove RC": {"use_residual": False},
+    "Remove LN": {"use_layer_norm": False},
+    "Separate FFN": {"share_ffn": False},
+    "Last pooling": {"pooling": "last"},
+}
+
+#: The metric reported per task, as in the paper's Table V.
+ABLATION_METRIC = {"ranking": "HR@10", "classification": "AUC", "regression": "MAE"}
+
+DEFAULT_DATASETS = ("gowalla", "trivago", "beauty")
+
+
+def run_table5(
+    datasets: Sequence[str] = DEFAULT_DATASETS,
+    variants: Sequence[str] = tuple(ABLATION_VARIANTS),
+    scale: str = "quick",
+    seed: int = 0,
+) -> ResultTable:
+    """Regenerate Table V: rows are architectures, columns are datasets."""
+    contexts = {dataset: build_context(dataset, scale=scale) for dataset in datasets}
+    columns = list(datasets)
+    table = ResultTable(
+        title=f"Table V — ablation test (scale={scale}); "
+              "metric: HR@10 (ranking), AUC (classification), MAE (regression)",
+        columns=columns,
+    )
+    for variant in variants:
+        overrides = ABLATION_VARIANTS[variant]
+        row: Dict[str, float] = {}
+        for dataset in datasets:
+            context = contexts[dataset]
+            metric_name = ABLATION_METRIC[context.task]
+            metrics = train_and_evaluate(context, "SeqFM", seed=seed, **overrides)
+            row[dataset] = metrics[metric_name]
+        table.add_row(variant, row)
+    table.metadata["paper"] = reference.TABLE5_ABLATION
+    table.metadata["metric_per_dataset"] = {
+        dataset: ABLATION_METRIC[contexts[dataset].task] for dataset in datasets
+    }
+    return table
+
+
+def main() -> None:
+    table = run_table5()
+    print(table)
+    print()
+    print("Paper reference (HR@10 / AUC / MAE on the same datasets):")
+    for variant, values in reference.TABLE5_ABLATION.items():
+        row = "  ".join(f"{d}={values[d]:.3f}" for d in ("gowalla", "trivago", "beauty"))
+        print(f"  {variant:12s} {row}")
+
+
+if __name__ == "__main__":
+    main()

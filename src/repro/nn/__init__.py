@@ -1,0 +1,38 @@
+"""Neural-network layer library built on :mod:`repro.autograd`.
+
+Provides the module system (parameters, train/eval modes, state dicts), the
+layers the SeqFM architecture is composed of (linear, embedding, layer norm,
+dropout, maskable self-attention, residual feed-forward blocks), weight
+initialisers, optimisers (SGD, Adam) and the three task losses used in the
+paper (BPR, log loss, squared error).
+"""
+
+from repro.nn.module import Module, Parameter
+from repro.nn.linear import Linear
+from repro.nn.embedding import Embedding
+from repro.nn.layers import LayerNorm, Dropout, ReLU, Sequential
+from repro.nn.attention import SelfAttention
+from repro.nn.feedforward import ResidualFeedForward
+from repro.nn.losses import BPRLoss, BCEWithLogitsLoss, MSELoss
+from repro.nn.optim import SGD, Adam, Optimizer
+from repro.nn import init
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Linear",
+    "Embedding",
+    "LayerNorm",
+    "Dropout",
+    "ReLU",
+    "Sequential",
+    "SelfAttention",
+    "ResidualFeedForward",
+    "BPRLoss",
+    "BCEWithLogitsLoss",
+    "MSELoss",
+    "SGD",
+    "Adam",
+    "Optimizer",
+    "init",
+]

@@ -1,0 +1,49 @@
+"""Fully connected (affine) layer."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.autograd import functional as F
+from repro.autograd.tensor import Tensor
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+
+
+class Linear(Module):
+    """Affine transform ``y = x W + b`` with ``W`` of shape (in, out).
+
+    Parameters
+    ----------
+    in_features, out_features:
+        Input and output dimensionality of the last axis.
+    bias:
+        Whether to learn an additive bias.
+    rng:
+        Generator used for Xavier-uniform weight initialisation; pass the
+        model-level generator so runs are reproducible.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("Linear dimensions must be positive")
+        rng = rng if rng is not None else np.random.default_rng()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.xavier_uniform((in_features, out_features), rng), name="weight")
+        self.bias = Parameter(init.zeros((out_features,)), name="bias") if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.linear(x, self.weight, self.bias)
+
+    def __repr__(self) -> str:
+        return f"Linear(in={self.in_features}, out={self.out_features}, bias={self.bias is not None})"

@@ -1,0 +1,41 @@
+"""Task losses used by the paper: BPR (ranking), log loss (classification),
+squared error (regression).
+
+Each loss is a thin module wrapper over the differentiable functional in
+:mod:`repro.autograd.functional`, so they can be swapped through a common
+interface by the trainer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import functional as F
+from repro.autograd.tensor import Tensor
+from repro.nn.module import Module
+
+
+class BPRLoss(Module):
+    """Bayesian Personalised Ranking loss (Eq. 21).
+
+    Takes the scores of positive and negative items for the same users and
+    maximises the log-probability that the positive item outranks the
+    negative one.
+    """
+
+    def forward(self, positive_scores: Tensor, negative_scores: Tensor) -> Tensor:
+        return F.bpr_loss(positive_scores, negative_scores)
+
+
+class BCEWithLogitsLoss(Module):
+    """Log loss of Eq. (24) computed directly from logits for stability."""
+
+    def forward(self, logits: Tensor, targets: np.ndarray) -> Tensor:
+        return F.binary_cross_entropy_with_logits(logits, targets)
+
+
+class MSELoss(Module):
+    """Mean squared error (Eq. 26 averaged over the batch)."""
+
+    def forward(self, predictions: Tensor, targets: np.ndarray) -> Tensor:
+        return F.mse_loss(predictions, targets)

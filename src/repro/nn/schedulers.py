@@ -1,0 +1,112 @@
+"""Learning-rate schedulers for the optimisers in :mod:`repro.nn.optim`.
+
+The paper trains with a constant Adam learning rate; schedulers are provided
+as an optional extension (they are exercised by the ablation benchmarks and
+available to users tuning the scaled-down synthetic setups, where a short
+warmup noticeably stabilises the attention layers).
+
+All schedulers mutate ``optimizer.lr`` in place when :meth:`step` is called
+once per epoch (or per iteration, at the caller's choice).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from repro.nn.optim import Optimizer
+
+
+class LRScheduler:
+    """Base class: tracks the step count and the optimiser's base rate."""
+
+    def __init__(self, optimizer: Optimizer):
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.step_count = 0
+
+    def step(self) -> float:
+        """Advance one step and apply the new learning rate; returns it."""
+        self.step_count += 1
+        new_lr = self.compute_lr(self.step_count)
+        self.optimizer.lr = new_lr
+        return new_lr
+
+    def compute_lr(self, step: int) -> float:
+        raise NotImplementedError
+
+    @property
+    def current_lr(self) -> float:
+        return self.optimizer.lr
+
+
+class ConstantLR(LRScheduler):
+    """Keeps the learning rate fixed (the paper's setting)."""
+
+    def compute_lr(self, step: int) -> float:
+        return self.base_lr
+
+
+class StepDecayLR(LRScheduler):
+    """Multiply the rate by ``gamma`` every ``step_size`` steps."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.5):
+        super().__init__(optimizer)
+        if step_size < 1:
+            raise ValueError("step_size must be positive")
+        if not 0.0 < gamma <= 1.0:
+            raise ValueError("gamma must be in (0, 1]")
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def compute_lr(self, step: int) -> float:
+        return self.base_lr * self.gamma ** (step // self.step_size)
+
+
+class CosineAnnealingLR(LRScheduler):
+    """Cosine decay from the base rate to ``min_lr`` over ``total_steps``."""
+
+    def __init__(self, optimizer: Optimizer, total_steps: int, min_lr: float = 0.0):
+        super().__init__(optimizer)
+        if total_steps < 1:
+            raise ValueError("total_steps must be positive")
+        if min_lr < 0:
+            raise ValueError("min_lr must be non-negative")
+        self.total_steps = total_steps
+        self.min_lr = min_lr
+
+    def compute_lr(self, step: int) -> float:
+        progress = min(step, self.total_steps) / self.total_steps
+        cosine = 0.5 * (1.0 + math.cos(math.pi * progress))
+        return self.min_lr + (self.base_lr - self.min_lr) * cosine
+
+
+class WarmupLR(LRScheduler):
+    """Linear warmup to the base rate, then delegate to an inner schedule.
+
+    With no inner schedule the rate stays at the base value after warmup —
+    the common "warmup + constant" recipe for attention models.
+    """
+
+    def __init__(self, optimizer: Optimizer, warmup_steps: int,
+                 after: LRScheduler = None):
+        super().__init__(optimizer)
+        if warmup_steps < 0:
+            raise ValueError("warmup_steps must be non-negative")
+        self.warmup_steps = warmup_steps
+        self.after = after
+
+    def compute_lr(self, step: int) -> float:
+        if self.warmup_steps and step <= self.warmup_steps:
+            return self.base_lr * step / self.warmup_steps
+        if self.after is not None:
+            return self.after.compute_lr(step - self.warmup_steps)
+        return self.base_lr
+
+
+def lr_history(scheduler: LRScheduler, num_steps: int) -> List[float]:
+    """Advance a scheduler ``num_steps`` times and return the rates applied.
+
+    Convenience helper for tests and for plotting schedules.
+    """
+    return [scheduler.step() for _ in range(num_steps)]

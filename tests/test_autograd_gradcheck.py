@@ -1,0 +1,46 @@
+"""Tests for the finite-difference gradient checker itself."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, check_gradients, numerical_gradient
+
+
+def test_numerical_gradient_of_quadratic():
+    x = Tensor(np.array([1.0, 2.0, 3.0]), requires_grad=True)
+    grad = numerical_gradient(lambda ts: (ts[0] ** 2).sum(), [x], index=0)
+    np.testing.assert_allclose(grad, 2 * x.data, atol=1e-5)
+
+
+def test_check_gradients_passes_for_correct_op():
+    x = Tensor(np.array([0.3, -1.2]), requires_grad=True)
+    assert check_gradients(lambda ts: (ts[0] * 3).sum(), [x])
+
+
+def test_check_gradients_detects_wrong_gradient():
+    class BrokenTensor(Tensor):
+        def double(self):
+            out_data = self.data * 2.0
+
+            def backward(grad):
+                self._accumulate(grad * 3.0)  # wrong local gradient on purpose
+
+            return Tensor._make(out_data, (self,), backward)
+
+    x = BrokenTensor(np.array([1.0, 2.0]), requires_grad=True)
+    with pytest.raises(AssertionError):
+        check_gradients(lambda ts: ts[0].double().sum(), [x])
+
+
+def test_check_gradients_requires_scalar_output():
+    x = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+    with pytest.raises(ValueError):
+        check_gradients(lambda ts: ts[0] * 2, [x])
+
+
+def test_check_gradients_skips_non_grad_inputs():
+    x = Tensor(np.array([1.0]), requires_grad=True)
+    constant = Tensor(np.array([2.0]), requires_grad=False)
+    assert check_gradients(lambda ts: (ts[0] * ts[1]).sum(), [x, constant])

@@ -1,0 +1,304 @@
+"""Tests for the baseline models: shared-interface contract plus
+model-specific behaviour (FM identity, SASRec causality, TFM translation,
+DIN candidate conditioning, CIN structure, RRN recurrence)."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.baselines import (
+    AFM,
+    BASELINE_REGISTRY,
+    DIN,
+    FM,
+    HOFM,
+    RRN,
+    SASRec,
+    TFM,
+    WideDeep,
+    XDeepFM,
+)
+from repro.core.tasks import make_task_model
+from repro.data.features import FeatureBatch
+from repro.nn.optim import Adam
+
+
+@pytest.fixture
+def batch(encoder, tiny_log, split):
+    examples = encoder.encode_training_instances(split.train)
+    return FeatureBatch.from_examples(examples[:10])
+
+
+def _build(name, encoder, **kwargs):
+    cls = BASELINE_REGISTRY[name]
+    params = dict(static_vocab_size=encoder.static_vocab_size,
+                  dynamic_vocab_size=encoder.dynamic_vocab_size,
+                  embed_dim=8, seed=0)
+    if name == "SASRec":
+        params["max_seq_len"] = encoder.max_seq_len
+    params.update(kwargs)
+    return cls(**params)
+
+
+class TestSharedContract:
+    @pytest.mark.parametrize("name", sorted(BASELINE_REGISTRY))
+    def test_forward_shape_and_finiteness(self, name, encoder, batch):
+        model = _build(name, encoder)
+        scores = model.score(batch)
+        assert scores.shape == (len(batch),)
+        assert np.isfinite(scores).all()
+
+    @pytest.mark.parametrize("name", sorted(BASELINE_REGISTRY))
+    def test_deterministic_given_seed(self, name, encoder, batch):
+        a = _build(name, encoder).score(batch)
+        b = _build(name, encoder).score(batch)
+        np.testing.assert_allclose(a, b)
+
+    @pytest.mark.parametrize("name", sorted(BASELINE_REGISTRY))
+    def test_gradients_flow_to_used_parameters(self, name, encoder, batch):
+        model = _build(name, encoder)
+        loss = (model(batch) ** 2).sum()
+        loss.backward()
+        grads = [p.grad is not None for p in model.parameters()]
+        # Every baseline must propagate gradients into most of its parameters;
+        # purely sequential models legitimately skip the static embedding table.
+        assert sum(grads) >= len(grads) - 1
+
+    @pytest.mark.parametrize("name", sorted(BASELINE_REGISTRY))
+    def test_one_adam_step_reduces_training_loss(self, name, encoder, batch):
+        model = _build(name, encoder)
+        task = make_task_model(model, "regression")
+        optimizer = Adam(model.parameters(), lr=0.01)
+        first = task.loss(batch)
+        first.backward()
+        optimizer.step()
+        model.zero_grad()
+        second = task.loss(batch)
+        assert second.item() < first.item() + 1e-9
+
+    @pytest.mark.parametrize("name", sorted(BASELINE_REGISTRY))
+    def test_score_does_not_build_graph(self, name, encoder, batch):
+        model = _build(name, encoder)
+        scores = model.score(batch)
+        assert isinstance(scores, np.ndarray)
+
+    def test_registry_covers_all_paper_baselines(self):
+        expected = {"FM", "HOFM", "Wide&Deep", "DeepCross", "NFM", "AFM",
+                    "SASRec", "TFM", "DIN", "xDeepFM", "RRN"}
+        assert set(BASELINE_REGISTRY) == expected
+
+
+class TestFM:
+    def test_matches_bruteforce_pairwise_interactions(self, encoder, batch):
+        """The sum-of-squares trick must equal the explicit Σ_{i<j} ⟨vᵢ,vⱼ⟩."""
+        model = FM(encoder.static_vocab_size, encoder.dynamic_vocab_size, embed_dim=6, seed=1)
+        scores = model.score(batch)
+
+        static_table = model.static_embedding.weight.data
+        dynamic_table = model.dynamic_embedding.weight.data
+        for row in range(len(batch)):
+            vectors = [static_table[i] for i in batch.static_indices[row]]
+            for position, index in enumerate(batch.dynamic_indices[row]):
+                if batch.dynamic_mask[row, position] > 0:
+                    vectors.append(dynamic_table[index])
+            pairwise = sum(
+                float(np.dot(a, b)) for a, b in itertools.combinations(vectors, 2)
+            )
+            linear = (
+                model.global_bias.data[0]
+                + model.static_linear.data[batch.static_indices[row]].sum()
+                + model.dynamic_linear.data[batch.dynamic_indices[row]][batch.dynamic_mask[row] > 0].sum()
+            )
+            assert scores[row] == pytest.approx(linear + pairwise, rel=1e-9)
+
+    def test_history_order_does_not_matter(self, encoder, tiny_log):
+        """FM treats the history as a set: reversing it must not change the score."""
+        model = FM(encoder.static_vocab_size, encoder.dynamic_vocab_size, embed_dim=6, seed=0)
+        history = tiny_log.user_sequence(0)[:4]
+        forward = encoder.encode(0, 15, history)
+        backward = encoder.encode(0, 15, list(reversed(history)))
+        score_forward = model.score(FeatureBatch.from_examples([forward]))
+        score_backward = model.score(FeatureBatch.from_examples([backward]))
+        np.testing.assert_allclose(score_forward, score_backward, atol=1e-10)
+
+
+class TestHOFM:
+    def test_third_order_term_matches_bruteforce(self, encoder, batch):
+        model = HOFM(encoder.static_vocab_size, encoder.dynamic_vocab_size,
+                     embed_dim=4, third_order_dim=3, seed=2)
+        third = model._third_order(batch).data
+
+        static_table = model.static_embedding3.weight.data
+        dynamic_table = model.dynamic_embedding3.weight.data
+        for row in range(len(batch)):
+            vectors = [static_table[i] for i in batch.static_indices[row]]
+            for position, index in enumerate(batch.dynamic_indices[row]):
+                if batch.dynamic_mask[row, position] > 0:
+                    vectors.append(dynamic_table[index])
+            brute = 0.0
+            for a, b, c in itertools.combinations(vectors, 3):
+                brute += float(np.sum(a * b * c))
+            assert third[row] == pytest.approx(brute, rel=1e-8, abs=1e-10)
+
+    def test_has_separate_third_order_tables(self, encoder):
+        model = HOFM(encoder.static_vocab_size, encoder.dynamic_vocab_size, embed_dim=4)
+        names = dict(model.named_parameters())
+        assert "static_embedding3.weight" in names
+        assert "dynamic_embedding3.weight" in names
+
+
+class TestSASRec:
+    def test_sequence_order_matters(self, encoder, tiny_log):
+        model = SASRec(encoder.static_vocab_size, encoder.dynamic_vocab_size,
+                       embed_dim=8, max_seq_len=encoder.max_seq_len, seed=0)
+        history = tiny_log.user_sequence(0)[:4]
+        forward = encoder.encode(0, 15, history)
+        backward = encoder.encode(0, 15, list(reversed(history)))
+        a = model.score(FeatureBatch.from_examples([forward]))
+        b = model.score(FeatureBatch.from_examples([backward]))
+        assert not np.allclose(a, b)
+
+    def test_rejects_overlong_sequence(self, encoder, batch):
+        model = SASRec(encoder.static_vocab_size, encoder.dynamic_vocab_size,
+                       embed_dim=8, max_seq_len=2, seed=0)
+        with pytest.raises(ValueError):
+            model(batch)
+
+    def test_candidate_index_mapping(self, encoder, batch):
+        model = SASRec(encoder.static_vocab_size, encoder.dynamic_vocab_size,
+                       embed_dim=8, max_seq_len=encoder.max_seq_len, seed=0)
+        dynamic_indices = model._candidate_dynamic_indices(batch)
+        expected = encoder.dynamic_object_index(batch.object_ids)
+        np.testing.assert_array_equal(dynamic_indices, expected)
+
+
+class TestTFM:
+    def test_score_decreases_with_distance(self, encoder, tiny_log):
+        """A candidate whose embedding sits exactly at (last item + translation)
+        must score at least as high as any other candidate (up to linear terms)."""
+        model = TFM(encoder.static_vocab_size, encoder.dynamic_vocab_size, embed_dim=4, seed=0)
+        model.static_linear.data[...] = 0.0
+        model.dynamic_linear.data[...] = 0.0
+        model.global_bias.data[...] = 0.0
+
+        history = tiny_log.user_sequence(0)[:3]
+        example_a = encoder.encode(0, 14, history)
+        example_b = encoder.encode(0, 15, history)
+        batch = FeatureBatch.from_examples([example_a, example_b])
+
+        last_index = batch.dynamic_indices[0, -1]
+        translation = model.user_translation.weight.data[batch.static_indices[0, 0]]
+        target_point = model.dynamic_embedding.weight.data[last_index] + translation
+        # Manually move candidate 14's embedding onto the target point.
+        candidate_a_index = encoder.dynamic_object_index(np.array([14]))[0]
+        model.dynamic_embedding.weight.data[candidate_a_index] = target_point
+
+        scores = model.score(batch)
+        assert scores[0] >= scores[1]
+
+    def test_only_last_item_matters(self, encoder, tiny_log):
+        """Changing earlier history items must not change the TFM score."""
+        model = TFM(encoder.static_vocab_size, encoder.dynamic_vocab_size, embed_dim=4, seed=0)
+        model.dynamic_linear.data[...] = 0.0  # linear term would otherwise see them
+        sequence = tiny_log.user_sequence(0)
+        history_a = sequence[:4]
+        history_b = [sequence[4]] + history_a[1:]  # same last item, different earlier items
+        a = encoder.encode(0, 15, history_a)
+        b = encoder.encode(0, 15, history_b)
+        scores = model.score(FeatureBatch.from_examples([a, b]))
+        assert scores[0] == pytest.approx(scores[1], rel=1e-9)
+
+
+class TestDIN:
+    def test_candidate_conditioning(self, encoder, tiny_log):
+        """DIN's interest vector depends on the candidate: two candidates with the
+        same history should produce different deep components."""
+        model = DIN(encoder.static_vocab_size, encoder.dynamic_vocab_size, embed_dim=8, seed=0)
+        history = tiny_log.user_sequence(0)[:4]
+        a = encoder.encode(0, 14, history)
+        b = encoder.encode(0, 15, history)
+        scores = model.score(FeatureBatch.from_examples([a, b]))
+        assert scores[0] != scores[1]
+
+    def test_history_order_does_not_matter(self, encoder, tiny_log):
+        model = DIN(encoder.static_vocab_size, encoder.dynamic_vocab_size, embed_dim=8, seed=0)
+        history = tiny_log.user_sequence(0)[:4]
+        forward = encoder.encode(0, 15, history)
+        backward = encoder.encode(0, 15, list(reversed(history)))
+        scores = model.score(FeatureBatch.from_examples([forward, backward]))
+        assert scores[0] == pytest.approx(scores[1], rel=1e-9)
+
+
+class TestXDeepFM:
+    def test_cin_layer_shapes(self, encoder, batch):
+        model = XDeepFM(encoder.static_vocab_size, encoder.dynamic_vocab_size,
+                        embed_dim=8, cin_layer_sizes=(4, 6), seed=0)
+        fields = model._field_embeddings(batch)
+        assert fields.shape == (len(batch), 3, 8)
+        cin_score = model._cin(fields)
+        assert cin_score.shape == (len(batch),)
+
+    def test_cin_weight_count_matches_layers(self, encoder):
+        model = XDeepFM(encoder.static_vocab_size, encoder.dynamic_vocab_size,
+                        embed_dim=8, cin_layer_sizes=(4, 6, 2), seed=0)
+        assert len(model.cin_weights) == 3
+        assert model.cin_weights[0].data.shape == (3 * 3, 4)
+        assert model.cin_weights[1].data.shape == (4 * 3, 6)
+
+
+class TestRRN:
+    def test_sequence_order_matters(self, encoder, tiny_log):
+        model = RRN(encoder.static_vocab_size, encoder.dynamic_vocab_size, embed_dim=8, seed=0)
+        history = tiny_log.user_sequence(0)[:4]
+        forward = encoder.encode(0, 15, history)
+        backward = encoder.encode(0, 15, list(reversed(history)))
+        scores = model.score(FeatureBatch.from_examples([forward, backward]))
+        assert scores[0] != scores[1]
+
+    def test_padding_steps_do_not_change_state(self, encoder, tiny_log):
+        """Left padding must be a no-op for the recurrent state."""
+        model = RRN(encoder.static_vocab_size, encoder.dynamic_vocab_size, embed_dim=8, seed=0)
+        model.dynamic_linear.data[...] = 0.0
+        history_short = tiny_log.user_sequence(0)[:2]   # padded to max_seq_len=4
+        example = encoder.encode(0, 15, history_short)
+        batch = FeatureBatch.from_examples([example])
+        baseline = model.score(batch)
+        # Changing the padded slots' indices (mask stays 0) must not matter.
+        modified = FeatureBatch(
+            static_indices=batch.static_indices,
+            dynamic_indices=batch.dynamic_indices.copy(),
+            dynamic_mask=batch.dynamic_mask,
+            labels=batch.labels, user_ids=batch.user_ids, object_ids=batch.object_ids,
+        )
+        modified.dynamic_indices[0, :2] = 3
+        np.testing.assert_allclose(baseline, model.score(modified), atol=1e-9)
+
+
+class TestWideDeepAndAFM:
+    def test_widedeep_deep_tower_contributes(self, encoder, batch):
+        model = WideDeep(encoder.static_vocab_size, encoder.dynamic_vocab_size, embed_dim=8, seed=0)
+        full_scores = model.score(batch)
+        # Zero the last deep layer: scores must change (deep part was active).
+        model.deep_tower.layers[-1].weight.data[...] = 0.0
+        model.deep_tower.layers[-1].bias.data[...] = 0.0
+        assert not np.allclose(full_scores, model.score(batch))
+
+    def test_afm_attention_ignores_padding_pairs(self, encoder, tiny_log):
+        model = AFM(encoder.static_vocab_size, encoder.dynamic_vocab_size, embed_dim=6, seed=0)
+        model.dynamic_linear.data[...] = 0.0
+        history = tiny_log.user_sequence(0)[:2]  # 2 of 4 slots padded
+        example = encoder.encode(0, 15, history)
+        batch_one = FeatureBatch.from_examples([example])
+        baseline = model.score(batch_one)
+        modified = FeatureBatch(
+            static_indices=batch_one.static_indices,
+            dynamic_indices=batch_one.dynamic_indices.copy(),
+            dynamic_mask=batch_one.dynamic_mask,
+            labels=batch_one.labels, user_ids=batch_one.user_ids, object_ids=batch_one.object_ids,
+        )
+        modified.dynamic_indices[0, :2] = 2
+        np.testing.assert_allclose(baseline, model.score(modified), atol=1e-9)

@@ -1,0 +1,106 @@
+"""Tests for the extra related-work baselines (DeepFM, FNN, PNN)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import EXTRA_BASELINE_REGISTRY, DeepFM, FNN, PNN, FM
+from repro.core.tasks import make_task_model
+from repro.data.features import FeatureBatch
+from repro.nn.optim import Adam
+
+
+@pytest.fixture
+def batch(encoder, tiny_log, split):
+    examples = encoder.encode_training_instances(split.train)
+    return FeatureBatch.from_examples(examples[:10])
+
+
+def _build(name, encoder):
+    cls = EXTRA_BASELINE_REGISTRY[name]
+    return cls(encoder.static_vocab_size, encoder.dynamic_vocab_size, embed_dim=8, seed=0)
+
+
+class TestSharedContract:
+    def test_registry_contents(self):
+        assert set(EXTRA_BASELINE_REGISTRY) == {"DeepFM", "FNN", "PNN"}
+
+    @pytest.mark.parametrize("name", sorted(EXTRA_BASELINE_REGISTRY))
+    def test_forward_shape_and_finiteness(self, name, encoder, batch):
+        model = _build(name, encoder)
+        scores = model.score(batch)
+        assert scores.shape == (len(batch),)
+        assert np.isfinite(scores).all()
+
+    @pytest.mark.parametrize("name", sorted(EXTRA_BASELINE_REGISTRY))
+    def test_gradients_flow(self, name, encoder, batch):
+        model = _build(name, encoder)
+        (model(batch) ** 2).sum().backward()
+        grads = [p.grad is not None for p in model.parameters()]
+        assert sum(grads) == len(grads)
+
+    @pytest.mark.parametrize("name", sorted(EXTRA_BASELINE_REGISTRY))
+    def test_adam_step_reduces_loss(self, name, encoder, batch):
+        model = _build(name, encoder)
+        task = make_task_model(model, "regression")
+        optimizer = Adam(model.parameters(), lr=0.01)
+        first = task.loss(batch)
+        first.backward()
+        optimizer.step()
+        model.zero_grad()
+        assert task.loss(batch).item() < first.item() + 1e-9
+
+
+class TestDeepFM:
+    def test_fm_component_matches_plain_fm(self, encoder, batch):
+        """With identical embeddings, DeepFM's FM component must equal the plain
+        FM's pairwise-interaction term."""
+        deepfm = DeepFM(encoder.static_vocab_size, encoder.dynamic_vocab_size, embed_dim=8, seed=0)
+        fm = FM(encoder.static_vocab_size, encoder.dynamic_vocab_size, embed_dim=8, seed=0)
+        fm.static_embedding.weight.data[...] = deepfm.static_embedding.weight.data
+        fm.dynamic_embedding.weight.data[...] = deepfm.dynamic_embedding.weight.data
+        fm.static_linear.data[...] = 0.0
+        fm.dynamic_linear.data[...] = 0.0
+        fm.global_bias.data[...] = 0.0
+        np.testing.assert_allclose(deepfm._fm_component(batch).data, fm.score(batch), atol=1e-10)
+
+    def test_deep_component_contributes(self, encoder, batch):
+        model = DeepFM(encoder.static_vocab_size, encoder.dynamic_vocab_size, embed_dim=8, seed=0)
+        full = model.score(batch)
+        model.dnn.layers[-1].weight.data[...] = 0.0
+        model.dnn.layers[-1].bias.data[...] = 0.0
+        assert not np.allclose(full, model.score(batch))
+
+
+class TestFNN:
+    def test_pretrain_copies_fm_embeddings(self, encoder, tiny_log, split):
+        examples = encoder.encode_training_instances(split.train, use_ratings=True)
+        model = FNN(encoder.static_vocab_size, encoder.dynamic_vocab_size, embed_dim=8, seed=0)
+        before = model.static_embedding.weight.data.copy()
+        model.pretrain(examples, epochs=1, batch_size=16)
+        assert not np.allclose(before, model.static_embedding.weight.data)
+
+    def test_pretrain_zero_epochs_is_noop_for_embeddings(self, encoder, tiny_log, split):
+        examples = encoder.encode_training_instances(split.train)
+        model = FNN(encoder.static_vocab_size, encoder.dynamic_vocab_size, embed_dim=8, seed=0)
+        model.pretrain(examples, epochs=0)
+        # Copied from an untrained FM with the same seed: still a valid state.
+        assert np.isfinite(model.static_embedding.weight.data).all()
+
+
+class TestPNN:
+    def test_product_layer_size(self, encoder):
+        model = PNN(encoder.static_vocab_size, encoder.dynamic_vocab_size, embed_dim=8, seed=0)
+        # Input to the first MLP layer: 3 fields × d + 3 pairwise inner products.
+        assert model.mlp.layers[0].in_features == 3 * 8 + 3
+
+    def test_history_influences_product_layer(self, encoder, tiny_log):
+        model = PNN(encoder.static_vocab_size, encoder.dynamic_vocab_size, embed_dim=8, seed=0)
+        model.dynamic_linear.data[...] = 0.0
+        history_a = tiny_log.user_sequence(0)[:3]
+        history_b = tiny_log.user_sequence(0)[3:6]
+        a = encoder.encode(0, 15, history_a)
+        b = encoder.encode(0, 15, history_b)
+        scores = model.score(FeatureBatch.from_examples([a, b]))
+        assert scores[0] != scores[1]

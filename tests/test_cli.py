@@ -1,0 +1,64 @@
+"""Tests for the experiments command-line interface.
+
+The CLI runners are exercised on the cheapest artefacts (Table I, Figure 4
+with a reduced proportion list is too slow for unit tests, so only its parser
+wiring is checked); the full experiment execution paths are covered by the
+benchmark suite.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.cli import EXPERIMENTS, build_parser, main, run_experiment
+
+
+class TestParser:
+    def test_known_experiments(self):
+        assert set(EXPERIMENTS) == {"table1", "table2", "table3", "table4",
+                                    "table5", "figure3", "figure4"}
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.scale == "quick"
+        assert args.datasets is None
+        assert args.output is None
+
+    def test_parser_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table9"])
+
+    def test_parser_rejects_unknown_scale(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table1", "--scale", "huge"])
+
+    def test_parser_accepts_dataset_list(self):
+        args = build_parser().parse_args(["table2", "--datasets", "gowalla", "foursquare"])
+        assert args.datasets == ["gowalla", "foursquare"]
+
+
+class TestExecution:
+    def test_table1_runs_and_prints(self, capsys):
+        run_experiment("table1", scale="quick", datasets=["beauty"], seed=0)
+        output = capsys.readouterr().out
+        assert "Table I" in output
+        assert "beauty" in output
+
+    def test_table1_json_export(self, tmp_path, capsys):
+        output = tmp_path / "table1.json"
+        run_experiment("table1", scale="quick", datasets=["toys"], seed=0, output=output)
+        capsys.readouterr()
+        payload = json.loads(output.read_text())
+        assert "toys" in payload["rows"]
+        assert payload["columns"] == ["instances", "users", "objects", "features"]
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(ValueError):
+            run_experiment("table9", scale="quick", datasets=None, seed=0)
+
+    def test_main_entry_point_table1(self, capsys):
+        exit_code = main(["table1", "--datasets", "beauty"])
+        assert exit_code == 0
+        assert "Table I" in capsys.readouterr().out

@@ -1,0 +1,184 @@
+"""Tests for the SeqFM model: architecture invariants, causality, ablations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import SeqFMConfig
+from repro.core.model import SeqFM
+from repro.data.features import FeatureBatch
+
+
+def _make_batch(encoder, log, split, count=6):
+    examples = encoder.encode_training_instances(split.train)
+    return FeatureBatch.from_examples(examples[:count])
+
+
+class TestForward:
+    def test_output_shape(self, seqfm_model, encoder, tiny_log, split):
+        batch = _make_batch(encoder, tiny_log, split)
+        scores = seqfm_model(batch)
+        assert scores.shape == (len(batch),)
+
+    def test_score_matches_eval_forward(self, seqfm_model, encoder, tiny_log, split):
+        batch = _make_batch(encoder, tiny_log, split)
+        seqfm_model.eval()
+        forward_scores = seqfm_model(batch).data
+        score_scores = seqfm_model.score(batch)
+        np.testing.assert_allclose(forward_scores, score_scores)
+
+    def test_score_restores_training_mode(self, seqfm_model, encoder, tiny_log, split):
+        batch = _make_batch(encoder, tiny_log, split)
+        seqfm_model.train()
+        seqfm_model.score(batch)
+        assert seqfm_model.training
+
+    def test_deterministic_given_seed(self, seqfm_config, encoder, tiny_log, split):
+        batch = _make_batch(encoder, tiny_log, split)
+        a = SeqFM(seqfm_config).score(batch)
+        b = SeqFM(seqfm_config).score(batch)
+        np.testing.assert_allclose(a, b)
+
+    def test_different_seed_changes_parameters(self, seqfm_config, encoder, tiny_log, split):
+        batch = _make_batch(encoder, tiny_log, split)
+        a = SeqFM(seqfm_config).score(batch)
+        b = SeqFM(seqfm_config.with_overrides(seed=99)).score(batch)
+        assert not np.allclose(a, b)
+
+    def test_gradients_reach_every_parameter(self, seqfm_model, encoder, tiny_log, split):
+        batch = _make_batch(encoder, tiny_log, split)
+        loss = (seqfm_model(batch) ** 2).sum()
+        loss.backward()
+        for name, parameter in seqfm_model.named_parameters():
+            assert parameter.grad is not None, f"no gradient for {name}"
+
+    def test_view_representations_shapes(self, seqfm_model, encoder, tiny_log, split):
+        batch = _make_batch(encoder, tiny_log, split)
+        views = seqfm_model.view_representations(batch)
+        assert len(views) == 3
+        for view in views:
+            assert view.shape == (len(batch), seqfm_model.config.embed_dim)
+
+    def test_repr_mentions_dimensions(self, seqfm_model):
+        assert "d=8" in repr(seqfm_model)
+
+
+class TestCausality:
+    """The dynamic view must be causal: the prediction for an instance may not
+    depend on *later* history positions being altered — and because padding is
+    on the left, altering padded positions must not change anything either."""
+
+    def test_padding_positions_do_not_affect_scores(self, seqfm_model, encoder, tiny_log, split):
+        batch = _make_batch(encoder, tiny_log, split, count=4)
+        scores_before = seqfm_model.score(batch)
+        modified = FeatureBatch(
+            static_indices=batch.static_indices.copy(),
+            dynamic_indices=batch.dynamic_indices.copy(),
+            dynamic_mask=batch.dynamic_mask,
+            labels=batch.labels,
+            user_ids=batch.user_ids,
+            object_ids=batch.object_ids,
+        )
+        # Replace the content of padded slots with arbitrary (valid) indices.
+        padded = modified.dynamic_mask == 0
+        modified.dynamic_indices[padded] = 1
+        scores_after = seqfm_model.score(modified)
+        np.testing.assert_allclose(scores_before, scores_after, atol=1e-8)
+
+    def test_most_recent_item_matters(self, seqfm_model, encoder, tiny_log, split):
+        """Swapping the most recent history item should generally change the score."""
+        batch = _make_batch(encoder, tiny_log, split, count=4)
+        scores_before = seqfm_model.score(batch)
+        modified_indices = batch.dynamic_indices.copy()
+        last_column = modified_indices[:, -1]
+        modified_indices[:, -1] = np.where(last_column == 1, 2, 1)
+        modified = FeatureBatch(
+            static_indices=batch.static_indices,
+            dynamic_indices=modified_indices,
+            dynamic_mask=batch.dynamic_mask,
+            labels=batch.labels,
+            user_ids=batch.user_ids,
+            object_ids=batch.object_ids,
+        )
+        scores_after = seqfm_model.score(modified)
+        assert not np.allclose(scores_before, scores_after)
+
+    def test_history_order_matters(self, seqfm_config, encoder, tiny_log):
+        """Reversing the dynamic sequence changes the dynamic-view output —
+        the whole point of sequence-awareness (a set-category FM would not care)."""
+        model = SeqFM(seqfm_config)
+        history = tiny_log.user_sequence(0)[:4]
+        forward_example = encoder.encode(0, 15, history)
+        backward_example = encoder.encode(0, 15, list(reversed(history)))
+        forward_score = model.score(FeatureBatch.from_examples([forward_example]))
+        backward_score = model.score(FeatureBatch.from_examples([backward_example]))
+        assert not np.allclose(forward_score, backward_score)
+
+
+class TestAblationVariants:
+    @pytest.mark.parametrize("overrides,expected_views", [
+        ({"use_static_view": False}, 2),
+        ({"use_dynamic_view": False}, 2),
+        ({"use_cross_view": False}, 2),
+        ({"use_static_view": False, "use_cross_view": False}, 1),
+    ])
+    def test_view_removal_changes_aggregated_dim(self, seqfm_config, encoder, tiny_log, split,
+                                                  overrides, expected_views):
+        config = seqfm_config.with_overrides(**overrides)
+        model = SeqFM(config)
+        assert config.num_views() == expected_views
+        assert model.projection.data.shape == (expected_views * config.embed_dim,)
+        batch = _make_batch(encoder, tiny_log, split, count=3)
+        assert model.score(batch).shape == (3,)
+
+    def test_remove_residual_still_runs(self, seqfm_config, encoder, tiny_log, split):
+        model = SeqFM(seqfm_config.with_overrides(use_residual=False))
+        batch = _make_batch(encoder, tiny_log, split, count=3)
+        assert np.isfinite(model.score(batch)).all()
+
+    def test_remove_layer_norm_still_runs(self, seqfm_config, encoder, tiny_log, split):
+        model = SeqFM(seqfm_config.with_overrides(use_layer_norm=False))
+        batch = _make_batch(encoder, tiny_log, split, count=3)
+        assert np.isfinite(model.score(batch)).all()
+
+    def test_separate_ffn_has_more_parameters(self, seqfm_config):
+        shared = SeqFM(seqfm_config)
+        separate = SeqFM(seqfm_config.with_overrides(share_ffn=False))
+        assert separate.num_parameters() > shared.num_parameters()
+
+    def test_last_pooling_variant(self, seqfm_config, encoder, tiny_log, split):
+        model = SeqFM(seqfm_config.with_overrides(pooling="last"))
+        batch = _make_batch(encoder, tiny_log, split, count=3)
+        assert np.isfinite(model.score(batch)).all()
+
+    def test_deeper_ffn_increases_parameters(self, seqfm_config):
+        shallow = SeqFM(seqfm_config)
+        deep = SeqFM(seqfm_config.with_overrides(ffn_layers=3))
+        assert deep.num_parameters() > shallow.num_parameters()
+
+
+class TestLinearTermAndComplexity:
+    def test_linear_term_only_model(self, encoder, tiny_log, split):
+        """With zeroed interaction parts the model reduces to bias + linear weights."""
+        config = SeqFMConfig(
+            static_vocab_size=encoder.static_vocab_size,
+            dynamic_vocab_size=encoder.dynamic_vocab_size,
+            max_seq_len=encoder.max_seq_len,
+            embed_dim=4, dropout=0.0, seed=0,
+        )
+        model = SeqFM(config)
+        model.projection.data[...] = 0.0  # kill the interaction term
+        model.global_bias.data[...] = 2.0
+        model.static_linear.data[...] = 0.5
+        model.dynamic_linear.data[...] = 0.25
+        batch = _make_batch(encoder, tiny_log, split, count=4)
+        expected = 2.0 + 2 * 0.5 + batch.dynamic_mask.sum(axis=1) * 0.25
+        np.testing.assert_allclose(model.score(batch), expected, atol=1e-9)
+
+    def test_parameter_count_scales_linearly_with_vocab(self):
+        small = SeqFM(SeqFMConfig(static_vocab_size=50, dynamic_vocab_size=40, embed_dim=8, dropout=0.0))
+        large = SeqFM(SeqFMConfig(static_vocab_size=100, dynamic_vocab_size=80, embed_dim=8, dropout=0.0))
+        embedding_growth = (large.num_parameters() - small.num_parameters())
+        # Growth must come only from embeddings + linear weights: (50+40) × (8+1).
+        assert embedding_growth == (50 + 40) * (8 + 1)

@@ -1,0 +1,198 @@
+"""Tests for the task heads, the trainer and grid search."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import SeqFMConfig
+from repro.core.grid_search import grid_search
+from repro.core.model import SeqFM
+from repro.core.tasks import (
+    ClassificationTask,
+    RankingTask,
+    RegressionTask,
+    SeqFMClassifier,
+    SeqFMRanker,
+    SeqFMRegressor,
+    make_task_model,
+)
+from repro.core.trainer import Trainer, TrainerConfig
+from repro.data.features import FeatureBatch
+from repro.data.split import leave_one_out_split
+
+
+@pytest.fixture
+def ranking_batch(encoder, tiny_log, split):
+    examples = encoder.encode_training_instances(split.train)
+    return FeatureBatch.from_examples(examples[:6])
+
+
+class TestTaskHeads:
+    def test_make_task_model_dispatch(self, seqfm_config):
+        scorer = SeqFM(seqfm_config)
+        assert isinstance(make_task_model(scorer, "ranking"), RankingTask)
+        assert isinstance(make_task_model(scorer, "classification"), ClassificationTask)
+        assert isinstance(make_task_model(scorer, "regression"), RegressionTask)
+
+    def test_make_task_model_unknown(self, seqfm_config):
+        with pytest.raises(ValueError):
+            make_task_model(SeqFM(seqfm_config), "clustering")
+
+    def test_seqfm_aliases_build_seqfm(self, seqfm_config):
+        assert isinstance(SeqFMRanker(seqfm_config).scorer, SeqFM)
+        assert isinstance(SeqFMClassifier(seqfm_config).scorer, SeqFM)
+        assert isinstance(SeqFMRegressor(seqfm_config).scorer, SeqFM)
+
+    def test_ranking_loss_requires_negatives(self, seqfm_config, ranking_batch):
+        task = SeqFMRanker(seqfm_config)
+        with pytest.raises(ValueError):
+            task.loss(ranking_batch)
+
+    def test_ranking_loss_positive_scalar(self, seqfm_config, encoder, ranking_batch, sampler):
+        task = SeqFMRanker(seqfm_config)
+        negatives = sampler.sample_batch(ranking_batch.user_ids, ranking_batch.object_ids)
+        negative_batch = ranking_batch.with_candidate(encoder, negatives)
+        loss = task.loss(ranking_batch, negative_batch)
+        assert loss.size == 1
+        assert loss.item() > 0
+
+    def test_classification_loss_with_and_without_negatives(self, seqfm_config, encoder,
+                                                            ranking_batch, sampler):
+        task = SeqFMClassifier(seqfm_config)
+        loss_positive_only = task.loss(ranking_batch)
+        negatives = sampler.sample_batch(ranking_batch.user_ids, ranking_batch.object_ids)
+        negative_batch = ranking_batch.with_candidate(encoder, negatives)
+        loss_with_negatives = task.loss(ranking_batch, negative_batch)
+        assert loss_positive_only.item() > 0
+        assert loss_with_negatives.item() > 0
+
+    def test_classification_predict_probability_in_unit_interval(self, seqfm_config, ranking_batch):
+        task = SeqFMClassifier(seqfm_config)
+        probabilities = task.predict_probability(ranking_batch)
+        assert np.all(probabilities > 0) and np.all(probabilities < 1)
+
+    def test_regression_loss_matches_mse(self, seqfm_config, ranking_batch):
+        task = SeqFMRegressor(seqfm_config)
+        loss = task.loss(ranking_batch)
+        predictions = task.predict(ranking_batch)
+        expected = np.mean((predictions - ranking_batch.labels) ** 2)
+        assert loss.item() == pytest.approx(expected, rel=1e-6)
+
+    def test_regression_rejects_negative_batch(self, seqfm_config, encoder, ranking_batch, sampler):
+        task = SeqFMRegressor(seqfm_config)
+        negatives = sampler.sample_batch(ranking_batch.user_ids, ranking_batch.object_ids)
+        with pytest.raises(ValueError):
+            task.loss(ranking_batch, ranking_batch.with_candidate(encoder, negatives))
+
+
+class TestTrainer:
+    def _context(self, encoder, split, task):
+        use_ratings = task == "regression"
+        examples = encoder.encode_training_instances(split.train, use_ratings=use_ratings)
+        return examples
+
+    def test_ranking_training_reduces_loss(self, seqfm_config, encoder, split, sampler):
+        task = SeqFMRanker(seqfm_config)
+        examples = self._context(encoder, split, "ranking")
+        trainer = Trainer(task, encoder, sampler,
+                          TrainerConfig(epochs=5, batch_size=8, learning_rate=0.02, seed=0,
+                                        convergence_tolerance=0.0))
+        result = trainer.fit(examples)
+        assert result.epoch_losses[-1] < result.epoch_losses[0]
+        assert result.epochs_run == 5
+        assert result.train_seconds > 0
+
+    def test_regression_training_reduces_loss(self, rating_log):
+        from repro.data.features import FeatureEncoder
+        split = leave_one_out_split(rating_log)
+        encoder = FeatureEncoder(rating_log, max_seq_len=5)
+        config = SeqFMConfig(
+            static_vocab_size=encoder.static_vocab_size,
+            dynamic_vocab_size=encoder.dynamic_vocab_size,
+            max_seq_len=5, embed_dim=8, dropout=0.0, seed=0,
+        )
+        task = SeqFMRegressor(config)
+        examples = encoder.encode_training_instances(split.train, use_ratings=True)
+        trainer = Trainer(task, encoder, config=TrainerConfig(epochs=4, batch_size=16,
+                                                              learning_rate=0.02,
+                                                              convergence_tolerance=0.0))
+        result = trainer.fit(examples)
+        assert result.epoch_losses[-1] < result.epoch_losses[0]
+
+    def test_regression_bias_warm_start(self, rating_log):
+        from repro.data.features import FeatureEncoder
+        split = leave_one_out_split(rating_log)
+        encoder = FeatureEncoder(rating_log, max_seq_len=5)
+        config = SeqFMConfig(
+            static_vocab_size=encoder.static_vocab_size,
+            dynamic_vocab_size=encoder.dynamic_vocab_size,
+            max_seq_len=5, embed_dim=8, dropout=0.0, seed=0,
+        )
+        task = SeqFMRegressor(config)
+        examples = encoder.encode_training_instances(split.train, use_ratings=True)
+        trainer = Trainer(task, encoder, config=TrainerConfig(epochs=1, batch_size=16))
+        trainer.fit(examples)
+        labels = np.array([example.label for example in examples])
+        # After warm start + training, the bias should sit near the label mean.
+        assert abs(task.scorer.global_bias.data[0] - labels.mean()) < 1.0
+
+    def test_sampler_required_for_ranking(self, seqfm_config, encoder):
+        with pytest.raises(ValueError):
+            Trainer(SeqFMRanker(seqfm_config), encoder, sampler=None)
+
+    def test_validation_callback_invoked(self, seqfm_config, encoder, split, sampler):
+        task = SeqFMRanker(seqfm_config)
+        examples = self._context(encoder, split, "ranking")
+        calls = []
+
+        def callback(model):
+            calls.append(1)
+            return {"checked": float(len(calls))}
+
+        trainer = Trainer(task, encoder, sampler, TrainerConfig(epochs=2, batch_size=8,
+                                                                convergence_tolerance=0.0))
+        result = trainer.fit(examples, validation_callback=callback)
+        assert len(result.validation_history) == 2
+        assert result.validation_history[0]["checked"] == 1.0
+
+    def test_early_convergence_stops(self, seqfm_config, encoder, split, sampler):
+        task = SeqFMRanker(seqfm_config)
+        examples = self._context(encoder, split, "ranking")
+        trainer = Trainer(task, encoder, sampler,
+                          TrainerConfig(epochs=20, batch_size=8, learning_rate=1e-9,
+                                        convergence_tolerance=0.5))
+        result = trainer.fit(examples)
+        assert result.epochs_run < 20
+
+    def test_model_left_in_eval_mode(self, seqfm_config, encoder, split, sampler):
+        task = SeqFMRanker(seqfm_config)
+        examples = self._context(encoder, split, "ranking")
+        Trainer(task, encoder, sampler, TrainerConfig(epochs=1, batch_size=8)).fit(examples)
+        assert not task.training
+
+
+class TestGridSearch:
+    def test_finds_best_combination(self):
+        def evaluate(params):
+            # Best at embed_dim=32, layers=2.
+            return -abs(params["embed_dim"] - 32) - abs(params["layers"] - 2)
+
+        result = grid_search({"embed_dim": [8, 16, 32], "layers": [1, 2]}, evaluate)
+        assert result.best_params == {"embed_dim": 32, "layers": 2}
+        assert len(result.trials) == 6
+
+    def test_minimise_mode(self):
+        result = grid_search({"x": [1, 2, 3]}, lambda p: p["x"] ** 2, maximise=False)
+        assert result.best_params == {"x": 1}
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ValueError):
+            grid_search({}, lambda p: 0.0)
+        with pytest.raises(ValueError):
+            grid_search({"x": []}, lambda p: 0.0)
+
+    def test_trials_record_every_combination(self):
+        result = grid_search({"a": [1, 2], "b": [3, 4, 5]}, lambda p: p["a"] * p["b"])
+        assert len(result.trials) == 6
+        assert result.best_score == 10

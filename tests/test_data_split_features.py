@@ -1,0 +1,211 @@
+"""Tests for leave-one-out splitting, feature encoding and batching."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.batching import BatchIterator
+from repro.data.features import PADDING_INDEX, FeatureBatch, FeatureEncoder
+from repro.data.interactions import Interaction, InteractionLog
+from repro.data.split import leave_one_out_split, proportion_subset
+
+
+class TestLeaveOneOutSplit:
+    def test_each_user_has_one_test_and_one_validation(self, tiny_log):
+        split = leave_one_out_split(tiny_log)
+        assert set(split.test) == tiny_log.users
+        assert set(split.validation) == tiny_log.users
+
+    def test_heldout_records_are_the_latest(self, tiny_log):
+        split = leave_one_out_split(tiny_log)
+        for user_id in tiny_log.users:
+            sequence = tiny_log.user_sequence(user_id)
+            assert split.test[user_id] == sequence[-1]
+            assert split.validation[user_id] == sequence[-2]
+
+    def test_train_excludes_heldout(self, tiny_log):
+        split = leave_one_out_split(tiny_log)
+        train_events = set((e.user_id, e.object_id, e.timestamp) for e in split.train)
+        for user_id in tiny_log.users:
+            held = split.test[user_id]
+            assert (held.user_id, held.object_id, held.timestamp) not in train_events
+
+    def test_short_sequences_go_entirely_to_train(self):
+        log = InteractionLog()
+        log.append(Interaction(0, 1, 0.0))
+        log.append(Interaction(0, 2, 1.0))
+        split = leave_one_out_split(log)
+        assert 0 not in split.test
+        assert len(split.train) == 2
+
+    def test_history_matches_train_part(self, tiny_log):
+        split = leave_one_out_split(tiny_log)
+        for user_id, history in split.history.items():
+            assert len(history) == len(tiny_log.user_sequence(user_id)) - 2
+
+    def test_min_sequence_length_validation(self, tiny_log):
+        with pytest.raises(ValueError):
+            leave_one_out_split(tiny_log, min_sequence_length=2)
+
+    def test_users_helper_sorted(self, tiny_log):
+        split = leave_one_out_split(tiny_log)
+        assert split.users() == sorted(tiny_log.users)
+
+
+class TestProportionSubset:
+    def test_returns_earliest_fraction(self, poi_log):
+        subset = proportion_subset(poi_log, 0.5)
+        assert len(subset) == round(len(poi_log) * 0.5)
+        cutoff_time = max(e.timestamp for e in subset)
+        remaining = [e for e in poi_log if e.timestamp > cutoff_time]
+        assert len(remaining) >= len(poi_log) - len(subset) - 1
+
+    def test_full_proportion_keeps_everything(self, poi_log):
+        assert len(proportion_subset(poi_log, 1.0)) == len(poi_log)
+
+    def test_invalid_proportion(self, poi_log):
+        with pytest.raises(ValueError):
+            proportion_subset(poi_log, 0.0)
+        with pytest.raises(ValueError):
+            proportion_subset(poi_log, 1.5)
+
+
+class TestFeatureEncoder:
+    def test_vocabulary_sizes(self, tiny_log, encoder):
+        assert encoder.num_users == 4
+        assert encoder.num_objects == 6
+        assert encoder.static_vocab_size == 10
+        assert encoder.dynamic_vocab_size == 7  # + padding
+
+    def test_encode_static_layout(self, tiny_log, encoder):
+        history = tiny_log.user_sequence(0)[:3]
+        example = encoder.encode(0, 13, history)
+        assert example.static_indices[encoder.user_slot] < encoder.num_users
+        assert example.static_indices[encoder.candidate_slot] >= encoder.num_users
+
+    def test_history_is_left_padded(self, tiny_log, encoder):
+        history = tiny_log.user_sequence(0)[:2]
+        example = encoder.encode(0, 13, history)
+        assert example.dynamic_indices[0] == PADDING_INDEX
+        assert example.dynamic_indices[1] == PADDING_INDEX
+        assert example.dynamic_mask[:2].sum() == 0
+        assert example.dynamic_mask[2:].sum() == 2
+
+    def test_history_truncated_to_most_recent(self, tiny_log, encoder):
+        history = tiny_log.user_sequence(0)  # 6 events, max_seq_len=4
+        example = encoder.encode(0, 13, history)
+        expected_objects = [event.object_id for event in history[-4:]]
+        decoded = [encoder.known_objects()[index - 1] for index in example.dynamic_indices]
+        assert decoded == expected_objects
+
+    def test_unknown_user_or_object_raises(self, encoder, tiny_log):
+        history = tiny_log.user_sequence(0)[:2]
+        with pytest.raises(KeyError):
+            encoder.encode(99, 13, history)
+        with pytest.raises(KeyError):
+            encoder.encode(0, 999, history)
+
+    def test_training_instances_expansion(self, tiny_log, encoder, split):
+        examples = encoder.encode_training_instances(split.train)
+        # Each user contributes len(train_sequence) - 1 instances (min_history=1).
+        expected = sum(len(sequence) - 1 for sequence in split.history.values())
+        assert len(examples) == expected
+
+    def test_training_instances_use_only_past_events(self, tiny_log, encoder, split):
+        examples = encoder.encode_training_instances(split.train)
+        for example in examples:
+            history_objects = {
+                encoder.known_objects()[index - 1]
+                for index, mask in zip(example.dynamic_indices, example.dynamic_mask)
+                if mask > 0
+            }
+            sequence = split.train.user_sequence(example.user_id)
+            candidate_position = next(
+                position for position, event in enumerate(sequence)
+                if event.object_id == example.object_id
+                and set(history_objects) <= {e.object_id for e in sequence[:position]}
+            )
+            assert candidate_position >= 1
+
+    def test_training_instances_with_ratings(self, rating_log):
+        encoder = FeatureEncoder(rating_log, max_seq_len=5)
+        split = leave_one_out_split(rating_log)
+        examples = encoder.encode_training_instances(split.train, use_ratings=True)
+        labels = {example.label for example in examples}
+        assert labels <= {1.0, 2.0, 3.0, 4.0, 5.0} or len(labels) > 1
+
+    def test_encode_heldout(self, tiny_log, encoder, split):
+        examples = encoder.encode_heldout(split.test, split.history)
+        assert len(examples) == len(split.test)
+
+    def test_invalid_max_seq_len(self, tiny_log):
+        with pytest.raises(ValueError):
+            FeatureEncoder(tiny_log, max_seq_len=0)
+
+
+class TestFeatureBatch:
+    def test_from_examples_shapes(self, tiny_log, encoder, split):
+        examples = encoder.encode_training_instances(split.train)[:5]
+        batch = FeatureBatch.from_examples(examples)
+        assert len(batch) == 5
+        assert batch.static_indices.shape == (5, 2)
+        assert batch.dynamic_indices.shape == (5, encoder.max_seq_len)
+        assert batch.dynamic_mask.shape == (5, encoder.max_seq_len)
+
+    def test_empty_batch_raises(self):
+        with pytest.raises(ValueError):
+            FeatureBatch.from_examples([])
+
+    def test_with_candidate_swaps_only_candidate(self, tiny_log, encoder, split):
+        examples = encoder.encode_training_instances(split.train)[:3]
+        batch = FeatureBatch.from_examples(examples)
+        new_candidates = np.array([15, 15, 15])
+        swapped = batch.with_candidate(encoder, new_candidates)
+        np.testing.assert_array_equal(swapped.object_ids, new_candidates)
+        np.testing.assert_array_equal(
+            swapped.static_indices[:, encoder.user_slot],
+            batch.static_indices[:, encoder.user_slot],
+        )
+        np.testing.assert_array_equal(swapped.dynamic_indices, batch.dynamic_indices)
+        assert not np.array_equal(
+            swapped.static_indices[:, encoder.candidate_slot],
+            batch.static_indices[:, encoder.candidate_slot],
+        ) or np.array_equal(new_candidates, batch.object_ids)
+
+    def test_with_candidate_size_mismatch(self, tiny_log, encoder, split):
+        examples = encoder.encode_training_instances(split.train)[:3]
+        batch = FeatureBatch.from_examples(examples)
+        with pytest.raises(ValueError):
+            batch.with_candidate(encoder, np.array([15]))
+
+
+class TestBatchIterator:
+    def test_covers_all_examples(self, tiny_log, encoder, split):
+        examples = encoder.encode_training_instances(split.train)
+        iterator = BatchIterator(examples, batch_size=4, shuffle=True, seed=0)
+        seen = sum(len(batch) for batch in iterator)
+        assert seen == len(examples)
+
+    def test_len_matches_iteration(self, tiny_log, encoder, split):
+        examples = encoder.encode_training_instances(split.train)
+        iterator = BatchIterator(examples, batch_size=5)
+        assert len(iterator) == len(list(iterator))
+
+    def test_drop_last(self, tiny_log, encoder, split):
+        examples = encoder.encode_training_instances(split.train)
+        iterator = BatchIterator(examples, batch_size=5, drop_last=True)
+        assert all(len(batch) == 5 for batch in iterator)
+
+    def test_shuffling_is_seeded(self, tiny_log, encoder, split):
+        examples = encoder.encode_training_instances(split.train)
+        first = [batch.object_ids.tolist() for batch in BatchIterator(examples, batch_size=4, seed=3)]
+        second = [batch.object_ids.tolist() for batch in BatchIterator(examples, batch_size=4, seed=3)]
+        assert first == second
+
+    def test_invalid_arguments(self, tiny_log, encoder, split):
+        examples = encoder.encode_training_instances(split.train)
+        with pytest.raises(ValueError):
+            BatchIterator(examples, batch_size=0)
+        with pytest.raises(ValueError):
+            BatchIterator([], batch_size=4)

@@ -1,0 +1,96 @@
+"""Tests for the leave-one-out evaluation protocol drivers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import SeqFMConfig
+from repro.core.tasks import SeqFMClassifier, SeqFMRanker, SeqFMRegressor
+from repro.data.features import FeatureEncoder
+from repro.data.sampling import NegativeSampler
+from repro.data.split import leave_one_out_split
+from repro.eval.protocol import EvaluationProtocol
+
+
+@pytest.fixture
+def ranking_setup(poi_log):
+    split = leave_one_out_split(poi_log)
+    encoder = FeatureEncoder(poi_log, max_seq_len=6)
+    sampler = NegativeSampler(poi_log, seed=0)
+    config = SeqFMConfig(
+        static_vocab_size=encoder.static_vocab_size,
+        dynamic_vocab_size=encoder.dynamic_vocab_size,
+        max_seq_len=6, embed_dim=8, dropout=0.0, seed=0,
+    )
+    protocol = EvaluationProtocol(encoder, sampler, num_ranking_negatives=20, cutoffs=(5, 10))
+    return split, encoder, sampler, config, protocol
+
+
+class TestRankingProtocol:
+    def test_metrics_structure(self, ranking_setup):
+        split, _, _, config, protocol = ranking_setup
+        metrics = protocol.evaluate_ranking_task(SeqFMRanker(config), split)
+        assert set(metrics.as_dict()) == {"HR@5", "HR@10", "NDCG@5", "NDCG@10"}
+        assert metrics.num_cases > 0
+
+    def test_metrics_bounded(self, ranking_setup):
+        split, _, _, config, protocol = ranking_setup
+        metrics = protocol.evaluate_ranking_task(SeqFMRanker(config), split)
+        for value in metrics.as_dict().values():
+            assert 0.0 <= value <= 1.0
+
+    def test_hr_monotone_in_k(self, ranking_setup):
+        split, _, _, config, protocol = ranking_setup
+        metrics = protocol.evaluate_ranking_task(SeqFMRanker(config), split)
+        assert metrics.hr[10] >= metrics.hr[5]
+
+    def test_max_users_limits_cases(self, ranking_setup):
+        split, _, _, config, protocol = ranking_setup
+        metrics = protocol.evaluate_ranking_task(SeqFMRanker(config), split, max_users=3)
+        assert metrics.num_cases <= 3
+
+    def test_validation_and_test_differ(self, ranking_setup):
+        split, _, _, config, protocol = ranking_setup
+        model = SeqFMRanker(config)
+        test_metrics = protocol.evaluate_ranking_task(model, split, use_validation=False)
+        validation_metrics = protocol.evaluate_ranking_task(model, split, use_validation=True)
+        # Same number of users, but generally different values.
+        assert test_metrics.num_cases == validation_metrics.num_cases
+
+    def test_requires_sampler(self, ranking_setup):
+        split, encoder, _, config, _ = ranking_setup
+        protocol = EvaluationProtocol(encoder, sampler=None)
+        with pytest.raises(ValueError):
+            protocol.evaluate_ranking_task(SeqFMRanker(config), split)
+
+    def test_dispatch_by_task_name(self, ranking_setup):
+        split, _, _, config, protocol = ranking_setup
+        metrics = protocol.evaluate(SeqFMRanker(config), split, "ranking")
+        assert "HR@5" in metrics
+        with pytest.raises(ValueError):
+            protocol.evaluate(SeqFMRanker(config), split, "segmentation")
+
+
+class TestClassificationProtocol:
+    def test_metrics_structure(self, ranking_setup):
+        split, _, _, config, protocol = ranking_setup
+        metrics = protocol.evaluate_classification_task(SeqFMClassifier(config), split)
+        assert 0.0 <= metrics.auc <= 1.0
+        assert metrics.rmse >= 0.0
+        assert metrics.num_cases % 2 == 0  # one negative per positive
+
+
+class TestRegressionProtocol:
+    def test_metrics_structure(self, rating_log):
+        split = leave_one_out_split(rating_log)
+        encoder = FeatureEncoder(rating_log, max_seq_len=5)
+        config = SeqFMConfig(
+            static_vocab_size=encoder.static_vocab_size,
+            dynamic_vocab_size=encoder.dynamic_vocab_size,
+            max_seq_len=5, embed_dim=8, dropout=0.0, seed=0,
+        )
+        protocol = EvaluationProtocol(encoder)
+        metrics = protocol.evaluate_regression_task(SeqFMRegressor(config), split)
+        assert metrics.mae >= 0.0
+        assert metrics.num_cases > 0

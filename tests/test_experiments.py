@@ -1,0 +1,175 @@
+"""Tests for the experiment harness: contexts, reporting, reference data and
+the table/figure runners (exercised at a micro scale so they stay fast)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import reference
+from repro.experiments.figure4_scalability import ScalabilityResult
+from repro.experiments.registry import SCALES, build_context
+from repro.experiments.reporting import ResultTable, compare_to_paper, format_table, relative_improvement
+from repro.experiments.runners import build_model, evaluate_model, train_and_evaluate
+from repro.experiments.table5_ablation import ABLATION_METRIC, ABLATION_VARIANTS
+
+
+class TestRegistry:
+    def test_scales_defined(self):
+        assert {"quick", "small", "full"} <= set(SCALES)
+
+    def test_build_context_quick(self):
+        context = build_context("gowalla", scale="quick")
+        assert context.task == "ranking"
+        assert len(context.train_examples) > 0
+        assert context.encoder.max_seq_len == SCALES["quick"].max_seq_len
+
+    def test_build_context_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            build_context("movielens")
+
+    def test_build_context_unknown_scale(self):
+        with pytest.raises(KeyError):
+            build_context("gowalla", scale="giant")
+
+    def test_max_seq_len_override(self):
+        context = build_context("gowalla", scale="quick", max_seq_len=5)
+        assert context.encoder.max_seq_len == 5
+
+    def test_task_assignment_per_dataset(self):
+        assert build_context("trivago", scale="quick").task == "classification"
+        assert build_context("beauty", scale="quick").task == "regression"
+
+    def test_regression_examples_carry_ratings(self):
+        context = build_context("beauty", scale="quick")
+        labels = {example.label for example in context.train_examples}
+        assert len(labels) > 1
+
+    def test_seqfm_config_reflects_encoder(self):
+        context = build_context("gowalla", scale="quick")
+        config = context.seqfm_config()
+        assert config.static_vocab_size == context.encoder.static_vocab_size
+        assert config.dynamic_vocab_size == context.encoder.dynamic_vocab_size
+
+    def test_trainer_config_overrides(self):
+        context = build_context("gowalla", scale="quick")
+        config = context.trainer_config(epochs=1)
+        assert config.epochs == 1
+
+
+class TestReporting:
+    def test_result_table_roundtrip(self):
+        table = ResultTable(title="demo", columns=["A", "B"])
+        table.add_row("x", {"A": 1.0, "B": 2.0})
+        table.add_row("y", {"A": 3.0, "B": 0.5})
+        assert table.get("y", "A") == 3.0
+        assert table.best_row("A") == "y"
+        assert table.best_row("B", maximise=False) == "y"
+        assert "demo" in str(table)
+
+    def test_add_row_missing_column(self):
+        table = ResultTable(title="demo", columns=["A", "B"])
+        with pytest.raises(KeyError):
+            table.add_row("x", {"A": 1.0})
+
+    def test_best_row_empty_table(self):
+        with pytest.raises(ValueError):
+            ResultTable(title="demo", columns=["A"]).best_row("A")
+
+    def test_format_table_contains_all_rows(self):
+        table = ResultTable(title="demo", columns=["A"])
+        table.add_row("model-1", {"A": 0.25})
+        text = format_table(table)
+        assert "model-1" in text and "0.250" in text
+
+    def test_compare_to_paper(self):
+        table = ResultTable(title="demo", columns=["AUC"])
+        table.add_row("FM", {"AUC": 0.7})
+        table.add_row("NotInPaper", {"AUC": 0.5})
+        text = compare_to_paper(table, {"FM": {"AUC": 0.729}})
+        assert "0.700 / 0.729" in text
+        assert "NotInPaper" not in text
+
+    def test_relative_improvement(self):
+        assert relative_improvement(1.2, 1.0) == pytest.approx(0.2)
+        assert relative_improvement(1.0, 0.0) == float("inf")
+
+
+class TestReferenceNumbers:
+    def test_seqfm_wins_every_ranking_metric_in_paper(self):
+        for dataset, table in reference.TABLE2_RANKING.items():
+            for metric in ("HR@10", "NDCG@10"):
+                best = max(table, key=lambda model: table[model][metric])
+                assert best == "SeqFM", f"{dataset}/{metric}"
+
+    def test_seqfm_wins_classification_and_regression_in_paper(self):
+        for table in reference.TABLE3_CLASSIFICATION.values():
+            assert max(table, key=lambda m: table[m]["AUC"]) == "SeqFM"
+            assert min(table, key=lambda m: table[m]["RMSE"]) == "SeqFM"
+        for table in reference.TABLE4_REGRESSION.values():
+            assert min(table, key=lambda m: table[m]["MAE"]) == "SeqFM"
+
+    def test_ablation_default_is_best_on_most_datasets(self):
+        default = reference.TABLE5_ABLATION["Default"]
+        # On the ranking/classification datasets higher is better and Default wins.
+        for dataset in ("gowalla", "foursquare", "trivago", "taobao"):
+            values = {variant: row[dataset] for variant, row in reference.TABLE5_ABLATION.items()}
+            # "Remove CV" on trivago is the paper's single exception.
+            best = max(values, key=values.get)
+            assert best in ("Default", "Remove CV")
+
+    def test_figure4_reference_is_increasing(self):
+        times = [reference.FIGURE4_SCALABILITY[p] for p in sorted(reference.FIGURE4_SCALABILITY)]
+        assert times == sorted(times)
+
+    def test_table1_contains_six_datasets(self):
+        assert len(reference.TABLE1_DATASETS) == 6
+
+
+class TestRunners:
+    @pytest.fixture(scope="class")
+    def quick_context(self):
+        return build_context("gowalla", scale="quick")
+
+    def test_build_model_seqfm_and_baseline(self, quick_context):
+        seqfm = build_model(quick_context, "SeqFM")
+        fm = build_model(quick_context, "FM")
+        assert seqfm.task == "ranking"
+        assert fm.task == "ranking"
+
+    def test_build_model_unknown(self, quick_context):
+        with pytest.raises(KeyError):
+            build_model(quick_context, "BERT4Rec")
+
+    def test_evaluate_untrained_model(self, quick_context):
+        model = build_model(quick_context, "FM")
+        metrics = evaluate_model(quick_context, model, max_users=5)
+        assert set(metrics) == {"HR@5", "HR@10", "HR@20", "NDCG@5", "NDCG@10", "NDCG@20"}
+
+    def test_train_and_evaluate_records_time(self, quick_context):
+        config = quick_context.trainer_config(epochs=1)
+        metrics = train_and_evaluate(quick_context, "FM", trainer_config=config, max_users=5)
+        assert metrics["train_seconds"] > 0
+
+
+class TestAblationAndScalabilityHelpers:
+    def test_ablation_variants_cover_paper_rows(self):
+        paper_rows = {"Default", "Remove SV", "Remove DV", "Remove CV", "Remove RC", "Remove LN"}
+        assert paper_rows <= set(ABLATION_VARIANTS)
+
+    def test_ablation_metric_per_task(self):
+        assert ABLATION_METRIC == {"ranking": "HR@10", "classification": "AUC", "regression": "MAE"}
+
+    def test_scalability_linear_fit(self):
+        result = ScalabilityResult(dataset="demo",
+                                   proportions=[0.2, 0.4, 0.6, 0.8, 1.0],
+                                   train_seconds=[1.0, 2.1, 2.9, 4.2, 5.0],
+                                   num_examples=[10, 20, 30, 40, 50])
+        result.fit_line()
+        assert result.linear_r_squared > 0.98
+
+    def test_scalability_constant_times(self):
+        result = ScalabilityResult(dataset="demo", proportions=[0.5, 1.0],
+                                   train_seconds=[1.0, 1.0], num_examples=[5, 10])
+        result.fit_line()
+        assert result.linear_r_squared == 1.0

@@ -1,0 +1,75 @@
+"""Tests for the maskable self-attention module."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.core.masks import causal_mask, cross_view_mask
+from repro.nn.attention import SelfAttention
+
+
+class TestSelfAttention:
+    def test_output_shape(self, rng):
+        attention = SelfAttention(8, rng=rng)
+        out = attention(Tensor(rng.normal(size=(3, 5, 8))))
+        assert out.shape == (3, 5, 8)
+
+    def test_invalid_dim(self, rng):
+        with pytest.raises(ValueError):
+            SelfAttention(0, rng=rng)
+
+    def test_attention_weights_sum_to_one(self, rng):
+        attention = SelfAttention(4, rng=rng)
+        weights = attention.attention_weights(Tensor(rng.normal(size=(2, 6, 4))))
+        np.testing.assert_allclose(weights.sum(axis=-1), np.ones((2, 6)), atol=1e-10)
+
+    def test_causal_mask_zeroes_future_weights(self, rng):
+        attention = SelfAttention(4, rng=rng)
+        features = Tensor(rng.normal(size=(1, 5, 4)))
+        weights = attention.attention_weights(features, mask=causal_mask(5)[None])
+        upper = np.triu_indices(5, k=1)
+        assert np.all(weights[0][upper] < 1e-6)
+
+    def test_cross_mask_blocks_within_category(self, rng):
+        attention = SelfAttention(4, rng=rng)
+        num_static, seq_len = 2, 3
+        features = Tensor(rng.normal(size=(1, num_static + seq_len, 4)))
+        weights = attention.attention_weights(
+            features, mask=cross_view_mask(num_static, seq_len)[None]
+        )
+        # static→static and dynamic→dynamic entries must be (numerically) zero
+        assert weights[0, 0, 1] < 1e-6
+        assert weights[0, 1, 0] < 1e-6
+        assert weights[0, 3, 4] < 1e-6
+        # static→dynamic mass must be positive
+        assert weights[0, 0, 2:].sum() > 0.99
+
+    def test_permutation_equivariance_without_mask(self, rng):
+        """Unmasked self-attention is permutation-equivariant over positions."""
+        attention = SelfAttention(4, rng=rng)
+        features = rng.normal(size=(1, 5, 4))
+        permutation = np.array([3, 1, 4, 0, 2])
+        out = attention(Tensor(features)).data
+        out_permuted = attention(Tensor(features[:, permutation, :])).data
+        np.testing.assert_allclose(out_permuted, out[:, permutation, :], atol=1e-9)
+
+    def test_masked_output_independent_of_future_positions(self, rng):
+        """Changing a future feature must not change earlier outputs (causality)."""
+        attention = SelfAttention(4, rng=rng)
+        features = rng.normal(size=(1, 5, 4))
+        modified = features.copy()
+        modified[0, 4] += 10.0
+        mask = causal_mask(5)[None]
+        out_a = attention(Tensor(features), mask=mask).data
+        out_b = attention(Tensor(modified), mask=mask).data
+        np.testing.assert_allclose(out_a[0, :4], out_b[0, :4], atol=1e-9)
+
+    def test_gradients_reach_all_projections(self, rng):
+        attention = SelfAttention(4, rng=rng)
+        out = attention(Tensor(rng.normal(size=(2, 3, 4)), requires_grad=True))
+        out.sum().backward()
+        assert attention.w_query.grad is not None
+        assert attention.w_key.grad is not None
+        assert attention.w_value.grad is not None

@@ -1,0 +1,177 @@
+"""Property-based tests (hypothesis) for the core invariants: autograd
+gradients, softmax/attention masks, metrics and the feature encoder."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.autograd import Tensor, check_gradients
+from repro.autograd import functional as F
+from repro.core.masks import causal_mask, cross_view_mask
+from repro.data.features import FeatureEncoder
+from repro.data.interactions import Interaction, InteractionLog
+from repro.data.split import leave_one_out_split
+from repro.eval.ranking import hit_ratio_at_k, ndcg_at_k
+from repro.eval.regression import root_relative_squared_error
+
+SETTINGS = settings(max_examples=25, deadline=None)
+
+finite_floats = st.floats(min_value=-5.0, max_value=5.0, allow_nan=False, allow_infinity=False)
+
+
+def small_arrays(max_side=4, min_dims=1, max_dims=2):
+    return hnp.arrays(
+        dtype=np.float64,
+        shape=hnp.array_shapes(min_dims=min_dims, max_dims=max_dims, min_side=1, max_side=max_side),
+        elements=finite_floats,
+    )
+
+
+class TestAutogradProperties:
+    @SETTINGS
+    @given(small_arrays())
+    def test_addition_gradient_is_ones(self, values):
+        x = Tensor(values, requires_grad=True)
+        (x + 1.0).sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones_like(values))
+
+    @SETTINGS
+    @given(small_arrays())
+    def test_sum_then_scale_gradient(self, values):
+        x = Tensor(values, requires_grad=True)
+        (x.sum() * 3.0).backward()
+        np.testing.assert_allclose(x.grad, np.full_like(values, 3.0))
+
+    @SETTINGS
+    @given(small_arrays(max_side=3))
+    def test_elementwise_product_gradcheck(self, values):
+        x = Tensor(values, requires_grad=True)
+        y = Tensor(np.ones_like(values) * 0.5, requires_grad=True)
+        assert check_gradients(lambda ts: (ts[0] * ts[1]).sum(), [x, y], rtol=1e-3, atol=1e-5)
+
+    @SETTINGS
+    @given(small_arrays(max_side=4, min_dims=2, max_dims=2))
+    def test_softmax_rows_are_distributions(self, values):
+        out = F.softmax(Tensor(values), axis=-1).data
+        assert np.all(out >= 0)
+        np.testing.assert_allclose(out.sum(axis=-1), np.ones(values.shape[0]), atol=1e-9)
+
+    @SETTINGS
+    @given(small_arrays(max_side=4, min_dims=2, max_dims=2))
+    def test_layer_norm_output_mean_is_zero(self, values):
+        dim = values.shape[-1]
+        out = F.layer_norm(Tensor(values), Tensor(np.ones(dim)), Tensor(np.zeros(dim))).data
+        np.testing.assert_allclose(out.mean(axis=-1), np.zeros(values.shape[0]), atol=1e-7)
+
+    @SETTINGS
+    @given(small_arrays(max_side=5), st.floats(min_value=0.0, max_value=0.8))
+    def test_dropout_never_changes_shape_and_eval_is_identity(self, values, ratio):
+        x = Tensor(values)
+        out_eval = F.dropout(x, ratio, training=False, rng=np.random.default_rng(0))
+        np.testing.assert_allclose(out_eval.data, values)
+        out_train = F.dropout(x, ratio, training=True, rng=np.random.default_rng(0))
+        assert out_train.shape == x.shape
+
+
+class TestMaskProperties:
+    @SETTINGS
+    @given(st.integers(min_value=1, max_value=12))
+    def test_causal_mask_row_i_allows_exactly_i_plus_one(self, size):
+        mask = causal_mask(size)
+        allowed_per_row = (mask == 0.0).sum(axis=1)
+        np.testing.assert_array_equal(allowed_per_row, np.arange(1, size + 1))
+
+    @SETTINGS
+    @given(st.integers(min_value=1, max_value=6), st.integers(min_value=1, max_value=8))
+    def test_cross_mask_allows_only_cross_pairs(self, num_static, seq_len):
+        mask = cross_view_mask(num_static, seq_len)
+        allowed = (mask == 0.0).sum()
+        assert allowed == 2 * num_static * seq_len
+
+    @SETTINGS
+    @given(st.integers(min_value=1, max_value=6), st.integers(min_value=1, max_value=8))
+    def test_cross_mask_is_symmetric(self, num_static, seq_len):
+        mask = cross_view_mask(num_static, seq_len)
+        np.testing.assert_array_equal(mask, mask.T)
+
+
+class TestMetricProperties:
+    @SETTINGS
+    @given(hnp.arrays(dtype=np.float64, shape=st.integers(2, 30), elements=finite_floats),
+           st.integers(min_value=1, max_value=30))
+    def test_hr_is_monotone_in_k(self, scores, k):
+        position = 0
+        smaller = hit_ratio_at_k(scores, position, k=max(1, k // 2))
+        larger = hit_ratio_at_k(scores, position, k=k)
+        assert larger >= smaller
+
+    @SETTINGS
+    @given(hnp.arrays(dtype=np.float64, shape=st.integers(2, 30), elements=finite_floats))
+    def test_ndcg_never_exceeds_hr(self, scores):
+        for k in (1, 5, 10):
+            assert ndcg_at_k(scores, 0, k) <= hit_ratio_at_k(scores, 0, k) + 1e-12
+
+    @SETTINGS
+    @given(hnp.arrays(dtype=np.float64, shape=st.integers(3, 40),
+                      elements=st.floats(min_value=-10, max_value=10,
+                                         allow_nan=False, allow_infinity=False)))
+    def test_rrse_perfect_prediction_is_zero(self, targets):
+        assert root_relative_squared_error(targets, targets.copy()) == 0.0
+
+    @SETTINGS
+    @given(st.integers(min_value=2, max_value=20))
+    def test_rrse_of_mean_predictor_is_one_for_varied_targets(self, size):
+        targets = np.arange(size, dtype=np.float64)
+        predictions = np.full(size, targets.mean())
+        assert abs(root_relative_squared_error(targets, predictions) - 1.0) < 1e-9
+
+
+@st.composite
+def interaction_logs(draw):
+    """Random small interaction logs with at least 3 events per user."""
+    num_users = draw(st.integers(min_value=1, max_value=5))
+    log = InteractionLog(name="hypothesis")
+    timestamp = 0.0
+    for user_id in range(num_users):
+        length = draw(st.integers(min_value=3, max_value=8))
+        for _ in range(length):
+            object_id = draw(st.integers(min_value=0, max_value=12))
+            timestamp += 1.0
+            log.append(Interaction(user_id=user_id, object_id=object_id, timestamp=timestamp))
+    return log
+
+
+class TestDataProperties:
+    @SETTINGS
+    @given(interaction_logs())
+    def test_leave_one_out_conserves_events(self, log):
+        split = leave_one_out_split(log)
+        total = len(split.train) + len(split.validation) + len(split.test)
+        assert total == len(log)
+
+    @SETTINGS
+    @given(interaction_logs())
+    def test_heldout_is_latest_event_per_user(self, log):
+        split = leave_one_out_split(log)
+        for user_id, event in split.test.items():
+            sequence = log.user_sequence(user_id)
+            assert event.timestamp == sequence[-1].timestamp
+
+    @SETTINGS
+    @given(interaction_logs(), st.integers(min_value=1, max_value=6))
+    def test_encoder_output_is_well_formed(self, log, max_seq_len):
+        encoder = FeatureEncoder(log, max_seq_len=max_seq_len)
+        split = leave_one_out_split(log)
+        for example in encoder.encode_training_instances(split.train):
+            assert example.dynamic_indices.shape == (max_seq_len,)
+            assert example.dynamic_mask.shape == (max_seq_len,)
+            # Mask marks exactly the non-padding entries.
+            np.testing.assert_array_equal(example.dynamic_mask > 0, example.dynamic_indices != 0)
+            # Padding (if any) sits strictly on the left.
+            valid_positions = np.where(example.dynamic_mask > 0)[0]
+            if valid_positions.size:
+                assert valid_positions[-1] == max_seq_len - 1
+            assert example.static_indices[0] < encoder.num_users
+            assert encoder.num_users <= example.static_indices[1] < encoder.static_vocab_size

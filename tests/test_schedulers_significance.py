@@ -1,0 +1,149 @@
+"""Tests for the learning-rate schedulers and the significance-testing tools."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.eval.significance import (
+    bootstrap_confidence_interval,
+    paired_bootstrap_test,
+    per_case_hit_scores,
+    sign_test,
+)
+from repro.nn.module import Parameter
+from repro.nn.optim import SGD
+from repro.nn.schedulers import (
+    ConstantLR,
+    CosineAnnealingLR,
+    StepDecayLR,
+    WarmupLR,
+    lr_history,
+)
+
+
+def _optimizer(lr=0.1):
+    return SGD([Parameter(np.zeros(1))], lr=lr)
+
+
+class TestSchedulers:
+    def test_constant_keeps_rate(self):
+        optimizer = _optimizer(0.05)
+        scheduler = ConstantLR(optimizer)
+        rates = lr_history(scheduler, 5)
+        assert rates == [0.05] * 5
+
+    def test_step_decay_halves_every_step_size(self):
+        optimizer = _optimizer(0.8)
+        scheduler = StepDecayLR(optimizer, step_size=2, gamma=0.5)
+        rates = lr_history(scheduler, 6)
+        assert rates[0] == pytest.approx(0.8)
+        assert rates[1] == pytest.approx(0.4)   # step 2 → one decay
+        assert rates[3] == pytest.approx(0.2)   # step 4 → two decays
+        assert rates[5] == pytest.approx(0.1)
+
+    def test_step_decay_validation(self):
+        with pytest.raises(ValueError):
+            StepDecayLR(_optimizer(), step_size=0)
+        with pytest.raises(ValueError):
+            StepDecayLR(_optimizer(), step_size=1, gamma=0.0)
+
+    def test_cosine_annealing_endpoints(self):
+        optimizer = _optimizer(1.0)
+        scheduler = CosineAnnealingLR(optimizer, total_steps=10, min_lr=0.1)
+        rates = lr_history(scheduler, 12)
+        assert rates[0] < 1.0                       # already decaying after the first step
+        assert rates[9] == pytest.approx(0.1)       # reaches the floor at total_steps
+        assert rates[11] == pytest.approx(0.1)      # and stays there
+        assert all(earlier >= later - 1e-12 for earlier, later in zip(rates, rates[1:]))
+
+    def test_cosine_validation(self):
+        with pytest.raises(ValueError):
+            CosineAnnealingLR(_optimizer(), total_steps=0)
+        with pytest.raises(ValueError):
+            CosineAnnealingLR(_optimizer(), total_steps=5, min_lr=-0.1)
+
+    def test_warmup_ramps_linearly_then_holds(self):
+        optimizer = _optimizer(0.4)
+        scheduler = WarmupLR(optimizer, warmup_steps=4)
+        rates = lr_history(scheduler, 6)
+        np.testing.assert_allclose(rates[:4], [0.1, 0.2, 0.3, 0.4])
+        assert rates[4] == pytest.approx(0.4)
+
+    def test_warmup_then_inner_schedule(self):
+        optimizer = _optimizer(0.4)
+        inner = StepDecayLR(optimizer, step_size=1, gamma=0.5)
+        scheduler = WarmupLR(optimizer, warmup_steps=2, after=inner)
+        rates = lr_history(scheduler, 4)
+        assert rates[0] == pytest.approx(0.2)
+        assert rates[1] == pytest.approx(0.4)
+        assert rates[2] == pytest.approx(0.2)   # inner step 1 → one decay
+        assert rates[3] == pytest.approx(0.1)
+
+    def test_scheduler_actually_updates_optimizer(self):
+        optimizer = _optimizer(0.4)
+        scheduler = StepDecayLR(optimizer, step_size=1, gamma=0.1)
+        scheduler.step()
+        assert optimizer.lr == pytest.approx(0.04)
+        assert scheduler.current_lr == optimizer.lr
+
+
+class TestBootstrapConfidenceInterval:
+    def test_interval_contains_estimate(self):
+        scores = np.random.default_rng(0).random(200)
+        interval = bootstrap_confidence_interval(scores, seed=1)
+        assert interval.lower <= interval.estimate <= interval.upper
+        assert interval.contains(interval.estimate)
+
+    def test_interval_narrows_with_more_data(self):
+        rng = np.random.default_rng(0)
+        small = bootstrap_confidence_interval(rng.random(30), seed=1)
+        large = bootstrap_confidence_interval(rng.random(3000), seed=1)
+        assert (large.upper - large.lower) < (small.upper - small.lower)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_confidence_interval([])
+        with pytest.raises(ValueError):
+            bootstrap_confidence_interval([1.0], confidence=1.5)
+
+
+class TestPairedTests:
+    def test_clear_difference_is_significant(self):
+        rng = np.random.default_rng(0)
+        base = rng.random(150)
+        better = np.clip(base + 0.2, 0, 1)
+        comparison = paired_bootstrap_test(better, base, seed=1)
+        assert comparison.mean_difference > 0
+        assert comparison.significant
+
+    def test_no_difference_not_significant(self):
+        rng = np.random.default_rng(0)
+        a = rng.random(150)
+        b = a + rng.normal(0, 1e-3, size=150)
+        comparison = paired_bootstrap_test(a, b, seed=1)
+        assert not comparison.significant or abs(comparison.mean_difference) < 1e-3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            paired_bootstrap_test([1.0, 2.0], [1.0])
+        with pytest.raises(ValueError):
+            paired_bootstrap_test([], [])
+
+    def test_sign_test_detects_consistent_winner(self):
+        a = np.array([0.6] * 40)
+        b = np.array([0.4] * 40)
+        comparison = sign_test(a, b)
+        assert comparison.significant
+        assert comparison.mean_difference == pytest.approx(0.2)
+
+    def test_sign_test_all_ties(self):
+        a = np.ones(10)
+        comparison = sign_test(a, a.copy())
+        assert comparison.p_value == 1.0
+        assert not comparison.significant
+
+    def test_per_case_hit_scores(self):
+        score_lists = [np.array([3.0, 1.0, 2.0]), np.array([0.0, 9.0, 1.0])]
+        hits = per_case_hit_scores(score_lists, [0, 0], k=1)
+        np.testing.assert_array_equal(hits, [1.0, 0.0])
