@@ -1,0 +1,23 @@
+# Development entry points. Everything runs from the repository root with the
+# src/ layout on PYTHONPATH; no installation step is needed.
+
+PYTHON ?= python
+export PYTHONPATH := $(CURDIR)/src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test bench docs-check all
+
+# Tier-1 test suite (the acceptance gate for every PR).
+test:
+	$(PYTHON) -m pytest -x -q
+
+# Benchmark suite: regenerates the paper's tables/figures and the serving
+# throughput report into results/*.txt.
+bench:
+	$(PYTHON) -m pytest benchmarks/ -q
+
+# Fail if the README's code blocks have drifted from the public API: extracts
+# and executes every ```python fence in README.md.
+docs-check:
+	$(PYTHON) docs/check_docs.py README.md
+
+all: test docs-check

@@ -94,7 +94,14 @@ class SeqFM(Module):
         return linear_term + interaction_term
 
     def score(self, batch: FeatureBatch) -> np.ndarray:
-        """Inference-mode scores as a plain array (no graph construction)."""
+        """Inference-mode scores as a plain array.
+
+        Evaluates through the autograd layer in eval mode under ``no_grad``
+        (dropout off, no backward bookkeeping kept).  For serving-volume
+        traffic prefer :class:`repro.serving.engine.InferenceEngine`, which
+        runs the same math graph-free on the weight arrays and returns
+        identical scores.
+        """
         was_training = self.training
         self.eval()
         try:

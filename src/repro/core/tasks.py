@@ -12,6 +12,12 @@ any of the baselines — to the paper's task-specific loss:
 
 The ``SeqFM*`` aliases construct the SeqFM scorer directly from a config so
 that ``SeqFMRanker(config)`` reads like the paper.
+
+At inference time the serving layer mirrors these heads one-to-one:
+:class:`repro.serving.registry.ModelRegistry` exposes ``rank`` / ``classify``
+/ ``regress`` endpoints whose outputs match :meth:`TaskModel.predict` and
+:meth:`ClassificationTask.predict_probability` exactly, without building an
+autograd graph.
 """
 
 from __future__ import annotations
@@ -25,6 +31,7 @@ from repro.autograd.tensor import Tensor
 from repro.core.config import SeqFMConfig
 from repro.core.model import SeqFM
 from repro.data.features import FeatureBatch
+from repro.nn import kernels
 from repro.nn.module import Module
 
 
@@ -41,7 +48,7 @@ class TaskModel(Module):
         return self.scorer(batch)
 
     def predict(self, batch: FeatureBatch) -> np.ndarray:
-        """Inference-mode raw scores (no graph)."""
+        """Inference-mode raw scores (eval mode, gradients discarded)."""
         return self.scorer.score(batch)
 
     def loss(self, batch: FeatureBatch, negative_batch: Optional[FeatureBatch] = None) -> Tensor:
@@ -77,8 +84,7 @@ class ClassificationTask(TaskModel):
 
     def predict_probability(self, batch: FeatureBatch) -> np.ndarray:
         """σ(ŷ) ∈ (0, 1): the click probability of Eq. 23."""
-        logits = self.predict(batch)
-        return 1.0 / (1.0 + np.exp(-np.clip(logits, -60.0, 60.0)))
+        return kernels.sigmoid(self.predict(batch))
 
 
 class RegressionTask(TaskModel):

@@ -23,6 +23,43 @@ from repro.nn.attention import SelfAttention
 from repro.nn.module import Module
 
 
+# --------------------------------------------------------------------------- #
+# Mask assembly shared by the autograd views below and the graph-free serving
+# engine (repro.serving.engine) — keep a single source of truth for which
+# feature pairs each view may attend to.
+# --------------------------------------------------------------------------- #
+def dynamic_attention_mask(seq_len: int, valid_mask: np.ndarray) -> np.ndarray:
+    """Per-batch mask of the dynamic view: causal + padding keys (Eq. 10)."""
+    causal = mask_lib.causal_mask(seq_len)[None, :, :]
+    padding = mask_lib.padding_key_mask(valid_mask)
+    return mask_lib.combine_masks(causal, padding)
+
+
+def cross_valid_mask(num_static: int, valid_mask: np.ndarray) -> np.ndarray:
+    """Validity of the concatenated [E°; E˙] rows: statics always valid."""
+    batch = np.asarray(valid_mask).shape[0]
+    static_valid = np.ones((batch, num_static), dtype=np.float64)
+    return np.concatenate([static_valid, np.asarray(valid_mask, dtype=np.float64)], axis=1)
+
+
+def cross_attention_mask(
+    num_static: int,
+    seq_len: int,
+    combined_valid: np.ndarray,
+    full_attention: bool = False,
+) -> np.ndarray:
+    """Per-batch mask of the cross view (Eq. 13): cross-only + padding keys.
+
+    ``full_attention`` drops the cross-only restriction (ablation variant) and
+    keeps just the padding mask.
+    """
+    padding = mask_lib.padding_key_mask(combined_valid)
+    if full_attention:
+        return padding
+    cross = mask_lib.cross_view_mask(num_static, seq_len)[None, :, :]
+    return mask_lib.combine_masks(cross, padding)
+
+
 class StaticView(Module):
     """Self-attention over static feature embeddings (Eq. 6-8) + pooling."""
 
@@ -49,9 +86,7 @@ class DynamicView(Module):
     def forward(self, dynamic_embeddings: Tensor, valid_mask: np.ndarray) -> Tensor:
         """``dynamic_embeddings``: (batch, n_dyn, d); ``valid_mask``: (batch, n_dyn)."""
         seq_len = dynamic_embeddings.shape[-2]
-        causal = mask_lib.causal_mask(seq_len)[None, :, :]
-        padding = mask_lib.padding_key_mask(valid_mask)
-        attention_mask = mask_lib.combine_masks(causal, padding)
+        attention_mask = dynamic_attention_mask(seq_len, valid_mask)
         interactions = self.attention(dynamic_embeddings, mask=attention_mask)
         if self.pooling == "last":
             return interactions[:, -1, :]
@@ -79,16 +114,10 @@ class CrossView(Module):
         combined = Tensor.concatenate([static_embeddings, dynamic_embeddings], axis=-2)
 
         # Static positions are always valid; dynamic positions follow the mask.
-        batch = np.asarray(valid_mask).shape[0]
-        static_valid = np.ones((batch, num_static), dtype=np.float64)
-        combined_valid = np.concatenate([static_valid, np.asarray(valid_mask, dtype=np.float64)], axis=1)
-        padding = mask_lib.padding_key_mask(combined_valid)
-
-        if self.full_attention:
-            attention_mask = padding
-        else:
-            cross = mask_lib.cross_view_mask(num_static, seq_len)[None, :, :]
-            attention_mask = mask_lib.combine_masks(cross, padding)
+        combined_valid = cross_valid_mask(num_static, valid_mask)
+        attention_mask = cross_attention_mask(
+            num_static, seq_len, combined_valid, full_attention=self.full_attention
+        )
 
         interactions = self.attention(combined, mask=attention_mask)
         return F.masked_mean_pool(interactions, combined_valid, axis=-2)

@@ -14,7 +14,7 @@ identically on real interaction logs.
 from repro.data.interactions import Interaction, InteractionLog
 from repro.data.preprocess import filter_by_activity, chronological_sort
 from repro.data.split import leave_one_out_split, LeaveOneOutSplit, proportion_subset
-from repro.data.features import FeatureEncoder, EncodedExample, FeatureBatch
+from repro.data.features import FeatureEncoder, EncodedExample, FeatureBatch, pad_sequences
 from repro.data.sampling import NegativeSampler
 from repro.data.batching import BatchIterator
 from repro.data.datasets import DatasetSpec, DATASET_REGISTRY, load_dataset, dataset_statistics
@@ -33,6 +33,7 @@ __all__ = [
     "FeatureBatch",
     "NegativeSampler",
     "BatchIterator",
+    "pad_sequences",
     "DatasetSpec",
     "DATASET_REGISTRY",
     "load_dataset",

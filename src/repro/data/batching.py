@@ -1,4 +1,10 @@
-"""Mini-batch iteration over encoded examples."""
+"""Mini-batch iteration over encoded examples and sequence collation.
+
+The collation primitive :func:`~repro.data.features.pad_sequences` lives in
+:mod:`repro.data.features` (next to the encoder that defines the layout) and
+is re-exported here for the batching consumers — the serving micro-batcher
+imports it from this module.
+"""
 
 from __future__ import annotations
 
@@ -6,7 +12,9 @@ from typing import Iterator, List, Optional, Sequence
 
 import numpy as np
 
-from repro.data.features import EncodedExample, FeatureBatch
+from repro.data.features import EncodedExample, FeatureBatch, pad_sequences
+
+__all__ = ["BatchIterator", "pad_sequences"]
 
 
 class BatchIterator:

@@ -21,13 +21,42 @@ Index layout
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.data.interactions import Interaction, InteractionLog
 
 PADDING_INDEX = 0
+
+
+def pad_sequences(
+    sequences: Sequence[Sequence[int]],
+    max_seq_len: int,
+    padding_index: int = PADDING_INDEX,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Left-pad/truncate variable-length index sequences into a dense batch.
+
+    The single source of truth for the dynamic-view layout: only the most
+    recent ``max_seq_len`` items of each sequence are kept (chronological
+    order, most recent last) and shorter sequences are left-padded with
+    ``padding_index``.  Returns ``(indices, mask)`` of shapes
+    ``(batch, max_seq_len)`` — int64 indices and a float64 validity mask with
+    1.0 on real items.  Used by :meth:`FeatureEncoder.encode` for training
+    instances and by the serving micro-batcher to collate raw user histories.
+    """
+    if max_seq_len < 1:
+        raise ValueError("max_seq_len must be at least 1")
+    batch = len(sequences)
+    indices = np.full((batch, max_seq_len), padding_index, dtype=np.int64)
+    mask = np.zeros((batch, max_seq_len), dtype=np.float64)
+    for row, sequence in enumerate(sequences):
+        recent = list(sequence)[-max_seq_len:]
+        if recent:
+            offset = max_seq_len - len(recent)
+            indices[row, offset:] = recent
+            mask[row, offset:] = 1.0
+    return indices, mask
 
 
 @dataclass(frozen=True)
@@ -210,13 +239,12 @@ class FeatureEncoder:
             dtype=np.int64,
         )
 
-        recent = list(history)[-self.max_seq_len:]
-        dynamic = np.full(self.max_seq_len, PADDING_INDEX, dtype=np.int64)
-        mask = np.zeros(self.max_seq_len, dtype=np.float64)
-        offset = self.max_seq_len - len(recent)
-        for position, event in enumerate(recent):
-            dynamic[offset + position] = self._object_to_index[event.object_id] + 1
-            mask[offset + position] = 1.0
+        recent = [
+            self._object_to_index[event.object_id] + 1
+            for event in list(history)[-self.max_seq_len:]
+        ]
+        padded, padded_mask = pad_sequences([recent], self.max_seq_len)
+        dynamic, mask = padded[0], padded_mask[0]
 
         return EncodedExample(
             static_indices=static_indices,

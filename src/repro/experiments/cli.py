@@ -1,4 +1,4 @@
-"""Command-line interface for the experiment harness.
+"""Command-line interface for the experiment harness and the serving runtime.
 
 Regenerate any table or figure of the paper from the shell::
 
@@ -9,6 +9,12 @@ Regenerate any table or figure of the paper from the shell::
 
 ``--output`` / ``--output-dir`` export the regenerated tables as JSON via
 :mod:`repro.core.serialization` so runs can be archived and diffed.
+
+Serve a trained checkpoint (see :mod:`repro.serving`)::
+
+    python -m repro.experiments.cli predict-batch \
+        --checkpoint ckpt.npz --requests requests.json --head classify
+    python -m repro.experiments.cli serve --checkpoint ckpt.npz < requests.jsonl
 """
 
 from __future__ import annotations
@@ -16,6 +22,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import zipfile
 from pathlib import Path
 from typing import Dict, List, Optional
 
@@ -33,11 +40,18 @@ from repro.experiments.reporting import ResultTable, compare_to_paper
 
 EXPERIMENTS = ("table1", "table2", "table3", "table4", "table5", "figure3", "figure4")
 
+#: Serving subcommands, dispatched before the experiment parser (they take a
+#: different option set than the table/figure runners).
+SERVING_COMMANDS = ("serve", "predict-batch")
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Regenerate the tables and figures of the SeqFM paper (ICDE 2020).",
+        epilog="Serving subcommands (separate option sets): "
+               "'serve' and 'predict-batch' — run e.g. "
+               "'python -m repro.experiments.cli predict-batch --help'.",
     )
     parser.add_argument("experiment", choices=EXPERIMENTS + ("all",),
                         help="which artefact to regenerate")
@@ -148,7 +162,84 @@ def run_experiment(name: str, scale: str, datasets: Optional[List[str]], seed: i
     raise ValueError(f"unknown experiment {name!r}")
 
 
+def build_serving_parser(command: str) -> argparse.ArgumentParser:
+    """Parser for the ``serve`` / ``predict-batch`` subcommands."""
+    parser = argparse.ArgumentParser(
+        prog=f"repro-experiments {command}",
+        description="Serve a trained SeqFM checkpoint (see repro.serving).",
+    )
+    parser.add_argument("--checkpoint", type=Path, required=True,
+                        help="SeqFM checkpoint written by repro.core.serialization.save_seqfm")
+    parser.add_argument("--head", default="score",
+                        choices=("score", "rank", "classify", "regress"),
+                        help="task endpoint to evaluate (default: raw scores)")
+    parser.add_argument("--max-batch-size", type=int, default=256,
+                        help="micro-batcher flush threshold (default: 256)")
+    parser.add_argument("--cache-capacity", type=int, default=4096,
+                        help="user-sequence LRU capacity (default: 4096)")
+    if command == "predict-batch":
+        parser.add_argument("--requests", type=Path, required=True,
+                            help="JSON file holding a list of request objects")
+        parser.add_argument("--output", type=Path, default=None,
+                            help="write the response payload as JSON (default: stdout)")
+    return parser
+
+
+def run_serving(command: str, argv: List[str]) -> int:
+    """Execute a serving subcommand; returns a process exit code."""
+    from repro.serving import ModelRegistry
+    from repro.serving.service import predict_batch, serve_jsonl
+
+    args = build_serving_parser(command).parse_args(argv)
+    if not args.checkpoint.exists():
+        print(f"error: checkpoint not found: {args.checkpoint}", file=sys.stderr)
+        return 2
+    registry = ModelRegistry(cache_capacity=args.cache_capacity)
+    try:
+        registry.load("default", args.checkpoint)
+    except (ValueError, KeyError, OSError, zipfile.BadZipFile) as error:
+        print(f"error: cannot load {args.checkpoint}: {error}", file=sys.stderr)
+        return 2
+
+    if command == "predict-batch":
+        try:
+            payloads = json.loads(args.requests.read_text())
+        except (OSError, ValueError) as error:
+            print(f"error: cannot read {args.requests}: {error}", file=sys.stderr)
+            return 2
+        if not isinstance(payloads, list) or not payloads:
+            print(f"error: {args.requests} must contain a non-empty JSON list of requests",
+                  file=sys.stderr)
+            return 2
+        try:
+            response = predict_batch(registry, "default", payloads, head=args.head,
+                                     max_batch_size=args.max_batch_size)
+        except (ValueError, KeyError, TypeError, IndexError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        rendered = json.dumps(response, indent=2)
+        if args.output:
+            args.output.parent.mkdir(parents=True, exist_ok=True)
+            args.output.write_text(rendered + "\n")
+            print(f"wrote {args.output} ({len(response['scores'])} scores)")
+        else:
+            print(rendered)
+        return 0
+
+    try:
+        total = serve_jsonl(registry, "default", sys.stdin, sys.stdout,
+                            head=args.head, max_batch_size=args.max_batch_size)
+    except (ValueError, KeyError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(f"served {total} requests", file=sys.stderr)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] in SERVING_COMMANDS:
+        return run_serving(argv[0], argv[1:])
     args = build_parser().parse_args(argv)
     if args.experiment == "all":
         output_dir = args.output_dir

@@ -16,6 +16,7 @@ from repro.nn.feedforward import ResidualFeedForward
 from repro.nn.losses import BPRLoss, BCEWithLogitsLoss, MSELoss
 from repro.nn.optim import SGD, Adam, Optimizer
 from repro.nn import init
+from repro.nn import kernels
 
 __all__ = [
     "Module",
@@ -35,4 +36,5 @@ __all__ = [
     "Adam",
     "Optimizer",
     "init",
+    "kernels",
 ]

@@ -17,7 +17,7 @@ import numpy as np
 
 from repro.autograd import functional as F
 from repro.autograd.tensor import Tensor
-from repro.nn import init
+from repro.nn import init, kernels
 from repro.nn.module import Module, Parameter
 
 
@@ -57,12 +57,7 @@ class SelfAttention(Module):
         """Return the softmax attention weight matrix (for tests/inspection)."""
         queries = (features @ self.w_query).data
         keys = (features @ self.w_key).data
-        scores = queries @ np.swapaxes(keys, -1, -2) / np.sqrt(self.dim)
-        if mask is not None:
-            scores = scores + np.asarray(mask, dtype=np.float64)
-        scores = scores - scores.max(axis=-1, keepdims=True)
-        exp_scores = np.exp(scores)
-        return exp_scores / exp_scores.sum(axis=-1, keepdims=True)
+        return kernels.attention_weights(queries, keys, mask=mask)
 
     def __repr__(self) -> str:
         return f"SelfAttention(dim={self.dim})"

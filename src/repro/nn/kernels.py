@@ -1,0 +1,107 @@
+"""Pure-NumPy forward kernels shared by training and serving.
+
+The autograd layer (:mod:`repro.autograd.functional`) wraps every operation in
+:class:`~repro.autograd.tensor.Tensor` nodes so gradients can flow backwards.
+Inference does not need any of that bookkeeping, so the serving engine
+(:mod:`repro.serving.engine`) evaluates the model with the plain-array kernels
+in this module instead.  Each kernel mirrors its autograd counterpart
+*operation for operation* — same order, same constants, same numerical tricks
+— so a graph-free forward pass is bitwise identical to
+``SeqFM.score``/``Tensor``-based evaluation, not merely close.
+
+Keep the two in lock-step: any change to the math in
+:mod:`repro.autograd.functional` must be reflected here (the parity tests in
+``tests/test_serving_engine.py`` enforce agreement to 1e-10).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+def softmax(scores: np.ndarray) -> np.ndarray:
+    """Softmax along the last axis with max-subtraction for stability.
+
+    Mirrors :func:`repro.autograd.functional.softmax`.
+    """
+    shifted = scores - scores.max(axis=-1, keepdims=True)
+    exps = np.exp(shifted)
+    return exps / exps.sum(axis=-1, keepdims=True)
+
+
+def attention_scores(
+    queries: np.ndarray, keys: np.ndarray, mask: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """Masked, scaled dot-product attention scores ``QKᵀ/√d + M``."""
+    d = queries.shape[-1]
+    scores = queries @ np.swapaxes(keys, -1, -2) * (1.0 / np.sqrt(d))
+    if mask is not None:
+        scores = scores + np.asarray(mask, dtype=np.float64)
+    return scores
+
+
+def attention_weights(
+    queries: np.ndarray, keys: np.ndarray, mask: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """Softmax-normalised attention weight matrix (for inference/inspection)."""
+    return softmax(attention_scores(queries, keys, mask=mask))
+
+
+def scaled_dot_product_attention(
+    queries: np.ndarray,
+    keys: np.ndarray,
+    values: np.ndarray,
+    mask: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Eq. (6)/(9)/(11): ``softmax(QKᵀ/√d + M)·V`` on plain arrays.
+
+    Mirrors :func:`repro.autograd.functional.scaled_dot_product_attention`.
+    """
+    return attention_weights(queries, keys, mask=mask) @ values
+
+
+def layer_norm(
+    x: np.ndarray, scale: np.ndarray, bias: np.ndarray, eps: float = 1e-8
+) -> np.ndarray:
+    """Layer normalisation over the last axis (Eq. 16).
+
+    Mirrors :func:`repro.autograd.functional.layer_norm`.
+    """
+    mean = x.mean(axis=-1, keepdims=True)
+    centred = x - mean
+    variance = (centred * centred).mean(axis=-1, keepdims=True)
+    normalised = centred / (variance + eps) ** 0.5
+    return normalised * scale + bias
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """Rectified linear unit on plain arrays."""
+    return np.maximum(x, 0.0)
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Logistic sigmoid, clipped against overflow.
+
+    Mirrors :meth:`repro.autograd.tensor.Tensor.sigmoid` (same ±60 clip), so
+    serving-side probabilities match the classification task head exactly.
+    """
+    return 1.0 / (1.0 + np.exp(-np.clip(x, -60.0, 60.0)))
+
+
+def mean_pool(x: np.ndarray, axis: int = -2) -> np.ndarray:
+    """Intra-view pooling (Eq. 14): mean of the feature rows in a view."""
+    return x.mean(axis=axis)
+
+
+def masked_mean_pool(x: np.ndarray, valid_mask: np.ndarray, axis: int = -2) -> np.ndarray:
+    """Mean over only the valid (non-padding) rows.
+
+    Mirrors :func:`repro.autograd.functional.masked_mean_pool`: rows that are
+    entirely padding contribute zero and the divisor is clamped to one.
+    """
+    mask = np.asarray(valid_mask, dtype=np.float64)[..., None]
+    counts = np.maximum(mask.sum(axis=axis), 1.0)
+    summed = (x * mask).sum(axis=axis)
+    return summed / counts

@@ -1,0 +1,72 @@
+"""Batched inference runtime for trained SeqFM models.
+
+Training needs the autograd graph; serving does not.  This package is the
+production-facing inference layer of the reproduction:
+
+* :class:`~repro.serving.engine.InferenceEngine` — graph-free, vectorised
+  forward pass on the model's weight arrays.  No ``Tensor`` allocation, no
+  backward bookkeeping; mask/attention/pooling math is shared with
+  :mod:`repro.core` and :mod:`repro.nn.kernels`, and output matches
+  ``SeqFM.score`` to 1e-10 (enforced by tests).
+* :class:`~repro.serving.batcher.MicroBatcher` — coalesces single scoring
+  requests into padded batches up to ``max_batch_size`` so the NumPy kernels
+  amortise their per-call overhead; results resolve in submission order.
+* :class:`~repro.serving.cache.UserSequenceStore` — LRU cache of padded user
+  histories with exact fingerprint checks, so repeat users skip re-encoding.
+* :class:`~repro.serving.registry.ModelRegistry` — named checkpoint-backed
+  models with ``rank`` / ``classify`` / ``regress`` endpoints mirroring the
+  task heads of :mod:`repro.core.tasks`.
+
+Usage
+-----
+Load a checkpoint and serve micro-batched ranking requests::
+
+    from repro.serving import ModelRegistry, ScoreRequest
+
+    registry = ModelRegistry()
+    registry.load("seqfm", "checkpoints/seqfm.npz")
+
+    # Static indices come from FeatureEncoder (user feature, candidate
+    # feature); the history is the user's dynamic-vocabulary event sequence.
+    requests = [
+        ScoreRequest(static_indices=[user_index, candidate_index],
+                     history=[3, 7, 12], user_id=42, object_id=7)
+        for candidate_index in candidate_indices
+    ]
+    scores = registry.rank_requests("seqfm", requests)   # request order
+
+Or drive the engine directly on prepared :class:`FeatureBatch` objects::
+
+    from repro.serving import InferenceEngine
+
+    engine = InferenceEngine(trained_model)       # any SeqFM instance
+    scores = engine.score(batch)                  # == trained_model.score(batch)
+    probabilities = engine.classify(batch)        # CTR head
+
+The throughput benchmark (``benchmarks/test_serving_throughput.py``) measures
+the speedup of batched and cached serving over one-request-at-a-time scoring;
+the CLI exposes the same runtime as ``predict-batch`` and ``serve``
+subcommands of :mod:`repro.experiments.cli`.
+"""
+
+from repro.serving.batcher import BatcherStats, MicroBatcher, PendingScore, ScoreRequest
+from repro.serving.cache import CacheStats, LRUCache, UserSequenceStore
+from repro.serving.engine import InferenceEngine
+from repro.serving.registry import ModelRegistry, RegisteredModel
+from repro.serving.service import parse_request, predict_batch, serve_jsonl
+
+__all__ = [
+    "BatcherStats",
+    "CacheStats",
+    "InferenceEngine",
+    "LRUCache",
+    "MicroBatcher",
+    "ModelRegistry",
+    "PendingScore",
+    "RegisteredModel",
+    "ScoreRequest",
+    "UserSequenceStore",
+    "parse_request",
+    "predict_batch",
+    "serve_jsonl",
+]

@@ -1,0 +1,178 @@
+"""Caching for the serving runtime: a generic LRU map and the user-sequence store.
+
+Encoding a scoring request is cheap but not free — every request pads and
+masks the user's interaction history into fixed-shape arrays.  Users who score
+many candidates in a row (the ranking endpoint scores J+1 candidates per
+request) share one history, and active users come back request after request,
+so the padded encoding is highly reusable.  :class:`UserSequenceStore` keeps
+the most recently used encodings behind an exact fingerprint check: a cached
+entry is reused only when the relevant suffix of the history is unchanged, so
+the cache can never serve a stale sequence.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Generic, Hashable, Optional, Sequence, Tuple, TypeVar
+
+import numpy as np
+
+from repro.data.batching import pad_sequences
+from repro.data.features import PADDING_INDEX
+
+K = TypeVar("K", bound=Hashable)
+V = TypeVar("V")
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters of a cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.requests if self.requests else 0.0
+
+
+class LRUCache(Generic[K, V]):
+    """Least-recently-used mapping with a fixed capacity.
+
+    ``get`` refreshes recency; ``put`` inserts or updates and evicts the least
+    recently used entry once ``capacity`` is exceeded.
+    """
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError("cache capacity must be positive")
+        self.capacity = capacity
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[K, V]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._entries
+
+    def get(self, key: K) -> Optional[V]:
+        """Return the cached value (refreshing recency) or ``None``."""
+        if key not in self._entries:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return self._entries[key]
+
+    def put(self, key: K, value: V) -> None:
+        """Insert or update ``key``, evicting the LRU entry beyond capacity."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def pop(self, key: K) -> Optional[V]:
+        """Remove and return ``key`` if cached (no stats impact)."""
+        return self._entries.pop(key, None)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def keys(self):
+        """Keys in LRU → MRU order (oldest first)."""
+        return list(self._entries.keys())
+
+
+@dataclass
+class _CachedSequence:
+    #: the (≤ max_seq_len) visible history suffix — both the cache-validity
+    #: fingerprint and the raw material for append_event updates
+    fingerprint: Tuple[int, ...]
+    indices: np.ndarray
+    mask: np.ndarray
+
+
+class UserSequenceStore:
+    """LRU-cached padded history encodings, keyed by user id.
+
+    Parameters
+    ----------
+    max_seq_len:
+        The n˙ the cached encodings are padded/truncated to; must match the
+        model the sequences are fed into.
+    capacity:
+        Maximum number of users kept resident.
+
+    Notes
+    -----
+    Correctness does not depend on callers invalidating anything: each lookup
+    carries the full history and is checked against the cached fingerprint
+    (the last ``max_seq_len`` items — exactly the suffix the model sees).  A
+    changed history is transparently re-encoded.  :meth:`append_event` keeps a
+    hot user's entry fresh without a round-trip through re-encoding callers.
+    """
+
+    def __init__(self, max_seq_len: int, capacity: int = 4096):
+        if max_seq_len < 1:
+            raise ValueError("max_seq_len must be at least 1")
+        self.max_seq_len = max_seq_len
+        self._hits = 0
+        self._misses = 0
+        self._cache: LRUCache[int, _CachedSequence] = LRUCache(capacity)
+
+    @property
+    def stats(self) -> CacheStats:
+        """Store-level counters: a *hit* requires the fingerprint to match."""
+        return CacheStats(hits=self._hits, misses=self._misses,
+                          evictions=self._cache.stats.evictions)
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def __contains__(self, user_id: int) -> bool:
+        return user_id in self._cache
+
+    def encode(self, user_id: int, history: Sequence[int]) -> Tuple[np.ndarray, np.ndarray]:
+        """Padded ``(indices, mask)`` row vectors for ``history``.
+
+        Cached per user; a hit requires the visible history suffix to match
+        exactly, so results are always identical to a fresh
+        :func:`repro.data.batching.pad_sequences` call.
+        """
+        fingerprint = tuple(int(item) for item in list(history)[-self.max_seq_len:])
+        cached = self._cache.get(user_id)
+        if cached is not None and cached.fingerprint == fingerprint:
+            self._hits += 1
+            return cached.indices, cached.mask
+        self._misses += 1
+        entry = self._encode_entry(fingerprint)
+        self._cache.put(user_id, entry)
+        return entry.indices, entry.mask
+
+    def append_event(self, user_id: int, dynamic_index: int) -> None:
+        """Extend a cached user's history by one event (no-op on cold users)."""
+        cached = self._cache.get(user_id)
+        if cached is None:
+            return
+        suffix = (cached.fingerprint + (int(dynamic_index),))[-self.max_seq_len:]
+        self._cache.put(user_id, self._encode_entry(suffix))
+
+    def _encode_entry(self, fingerprint: Tuple[int, ...]) -> _CachedSequence:
+        indices, mask = pad_sequences([fingerprint], self.max_seq_len, PADDING_INDEX)
+        return _CachedSequence(fingerprint=fingerprint, indices=indices[0], mask=mask[0])
+
+    def invalidate(self, user_id: int) -> None:
+        """Drop a user's cached encoding."""
+        self._cache.pop(user_id)
+
+    def clear(self) -> None:
+        self._cache.clear()

@@ -1,0 +1,178 @@
+"""Graph-free batched inference over a trained SeqFM model.
+
+Training evaluates the model through the autograd layer: every matmul
+allocates a :class:`~repro.autograd.tensor.Tensor` node and registers a
+backward closure, even under ``no_grad``.  Serving never needs gradients, so
+:class:`InferenceEngine` re-runs the *same* forward math — Eq. 3-19 of the
+paper — directly on the model's parameter arrays with the pure-NumPy kernels
+in :mod:`repro.nn.kernels` and the mask builders in :mod:`repro.core.views`.
+Nothing is duplicated: masks, attention, layer norm and pooling all come from
+the shared implementations, so engine output is identical to
+:meth:`repro.core.model.SeqFM.score` to machine precision (the test suite
+asserts 1e-10).
+
+The engine reads parameters *by reference*: when a registry hot-reloads a
+checkpoint into the same model object via ``load_state_dict``, the engine
+picks up the new weights on the next call without being rebuilt.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.model import SeqFM
+from repro.core.views import cross_attention_mask, cross_valid_mask, dynamic_attention_mask
+from repro.data.features import FeatureBatch
+from repro.nn import kernels
+from repro.nn.attention import SelfAttention
+from repro.nn.feedforward import ResidualFeedForward
+
+
+class InferenceEngine:
+    """Vectorised, allocation-lean forward pass for a trained SeqFM model.
+
+    Parameters
+    ----------
+    model:
+        A (typically trained) :class:`~repro.core.model.SeqFM` instance.  The
+        engine holds a reference and reads the parameter arrays at call time;
+        it never mutates the model.
+
+    Examples
+    --------
+    >>> engine = InferenceEngine(model)
+    >>> scores = engine.score(batch)           # == model.score(batch)
+    >>> probs = engine.classify(batch)         # == SeqFMClassifier probabilities
+    """
+
+    def __init__(self, model: SeqFM):
+        self._model = model
+        self.config = model.config
+
+    @property
+    def model(self) -> SeqFM:
+        return self._model
+
+    # ------------------------------------------------------------------ #
+    # Public endpoints
+    # ------------------------------------------------------------------ #
+    def score(self, batch: FeatureBatch) -> np.ndarray:
+        """Raw scores ŷ for every instance — parity with ``SeqFM.score``."""
+        self._validate_indices(batch)
+        return self._linear_term(batch) + self._interaction_term(batch)
+
+    def _validate_indices(self, batch: FeatureBatch) -> None:
+        # The autograd path validates inside Embedding.forward; the engine
+        # indexes the weight arrays directly, so re-check here — a bad request
+        # must surface as a clean IndexError, not corrupt NumPy fancy-indexing.
+        for name, indices, vocab in (
+            ("static", batch.static_indices, self.config.static_vocab_size),
+            ("dynamic", batch.dynamic_indices, self.config.dynamic_vocab_size),
+        ):
+            if indices.size and (indices.min() < 0 or indices.max() >= vocab):
+                raise IndexError(
+                    f"{name} feature index out of range [0, {vocab}): "
+                    f"min={indices.min()}, max={indices.max()}"
+                )
+
+    def classify(self, batch: FeatureBatch) -> np.ndarray:
+        """σ(ŷ) ∈ (0, 1) — parity with ``ClassificationTask.predict_probability``."""
+        return kernels.sigmoid(self.score(batch))
+
+    def regress(self, batch: FeatureBatch) -> np.ndarray:
+        """Predicted ratings — the raw score, as in ``RegressionTask``."""
+        return self.score(batch)
+
+    # ------------------------------------------------------------------ #
+    # Forward components (mirror SeqFM._linear_term/_interaction_term)
+    # ------------------------------------------------------------------ #
+    def _linear_term(self, batch: FeatureBatch) -> np.ndarray:
+        model = self._model
+        static_weights = model.static_linear.data[batch.static_indices].sum(axis=-1)
+        dynamic_weights = model.dynamic_linear.data[batch.dynamic_indices]
+        dynamic_sum = (dynamic_weights * batch.dynamic_mask).sum(axis=-1)
+        return model.global_bias.data + static_weights + dynamic_sum
+
+    def _interaction_term(self, batch: FeatureBatch) -> np.ndarray:
+        model = self._model
+        static_embedded = model.static_embedding.weight.data[batch.static_indices]
+        dynamic_embedded = model.dynamic_embedding.weight.data[batch.dynamic_indices]
+
+        pooled_views: List[np.ndarray] = []
+        if model.static_view is not None:
+            attended = self._attend(model.static_view.attention, static_embedded, mask=None)
+            pooled_views.append(kernels.mean_pool(attended, axis=-2))
+        if model.dynamic_view is not None:
+            pooled_views.append(
+                self._dynamic_view(dynamic_embedded, batch.dynamic_mask)
+            )
+        if model.cross_view is not None:
+            pooled_views.append(
+                self._cross_view(static_embedded, dynamic_embedded, batch.dynamic_mask)
+            )
+
+        refined = [self._apply_ffn(view, index) for index, view in enumerate(pooled_views)]
+        aggregated = np.concatenate(refined, axis=-1)
+        return aggregated @ model.projection.data
+
+    def _attend(
+        self, attention: SelfAttention, features: np.ndarray, mask: Optional[np.ndarray]
+    ) -> np.ndarray:
+        queries = features @ attention.w_query.data
+        keys = features @ attention.w_key.data
+        values = features @ attention.w_value.data
+        return kernels.scaled_dot_product_attention(queries, keys, values, mask=mask)
+
+    def _dynamic_view(self, dynamic_embedded: np.ndarray, valid_mask: np.ndarray) -> np.ndarray:
+        view = self._model.dynamic_view
+        seq_len = dynamic_embedded.shape[-2]
+        attention_mask = dynamic_attention_mask(seq_len, valid_mask)
+        interactions = self._attend(view.attention, dynamic_embedded, attention_mask)
+        if view.pooling == "last":
+            return interactions[:, -1, :]
+        return kernels.masked_mean_pool(interactions, valid_mask, axis=-2)
+
+    def _cross_view(
+        self,
+        static_embedded: np.ndarray,
+        dynamic_embedded: np.ndarray,
+        valid_mask: np.ndarray,
+    ) -> np.ndarray:
+        view = self._model.cross_view
+        num_static = static_embedded.shape[-2]
+        seq_len = dynamic_embedded.shape[-2]
+        combined = np.concatenate([static_embedded, dynamic_embedded], axis=-2)
+        combined_valid = cross_valid_mask(num_static, valid_mask)
+        attention_mask = cross_attention_mask(
+            num_static, seq_len, combined_valid, full_attention=view.full_attention
+        )
+        interactions = self._attend(view.attention, combined, attention_mask)
+        return kernels.masked_mean_pool(interactions, combined_valid, axis=-2)
+
+    def _apply_ffn(self, pooled: np.ndarray, view_index: int) -> np.ndarray:
+        model = self._model
+        ffn = model.shared_ffn if model.shared_ffn is not None else model.view_ffns[view_index]
+        return self._ffn_forward(ffn, pooled)
+
+    @staticmethod
+    def _ffn_forward(ffn: ResidualFeedForward, x: np.ndarray) -> np.ndarray:
+        # Dropout is identity at inference time, so the eval-mode forward of
+        # ResidualFeedForward reduces to this loop.
+        hidden = x
+        for linear, norm in zip(ffn.linears, ffn.norms):
+            branch_input = (
+                kernels.layer_norm(hidden, norm.scale.data, norm.bias.data, eps=norm.eps)
+                if ffn.use_layer_norm
+                else hidden
+            )
+            affine = branch_input @ linear.weight.data
+            if linear.bias is not None:
+                affine = affine + linear.bias.data
+            branch = kernels.relu(affine)
+            hidden = hidden + branch if ffn.use_residual else branch
+        return hidden
+
+    def __repr__(self) -> str:
+        return f"InferenceEngine({self._model!r})"

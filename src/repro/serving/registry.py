@@ -1,0 +1,157 @@
+"""Model registry: named, checkpoint-backed models with task endpoints.
+
+The registry is the front door of the serving runtime.  It loads SeqFM
+checkpoints written by :func:`repro.core.serialization.save_seqfm` (which
+embed their own configuration, so no side-channel is needed), wraps each model
+in an :class:`~repro.serving.engine.InferenceEngine`, and exposes the three
+task endpoints of the paper — ``rank`` / ``classify`` / ``regress`` —
+mirroring the task heads in :mod:`repro.core.tasks`:
+
+* :meth:`ModelRegistry.rank` — raw scores, higher = better candidate
+  (what :class:`~repro.core.tasks.RankingTask` sorts by);
+* :meth:`ModelRegistry.classify` — sigmoid click probabilities
+  (:meth:`~repro.core.tasks.ClassificationTask.predict_probability`);
+* :meth:`ModelRegistry.regress` — predicted ratings
+  (:class:`~repro.core.tasks.RegressionTask` predictions).
+
+Reloading a checkpoint into an existing name swaps the weights in place; the
+engine reads parameters by reference, so in-flight handles keep working.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.core.model import SeqFM
+from repro.core.serialization import load_seqfm, save_seqfm
+from repro.data.features import FeatureBatch
+from repro.serving.batcher import MicroBatcher, ScoreRequest
+from repro.serving.cache import UserSequenceStore
+from repro.serving.engine import InferenceEngine
+
+PathLike = Union[str, Path]
+
+
+@dataclass
+class RegisteredModel:
+    """A named model with its engine and serving infrastructure."""
+
+    name: str
+    model: SeqFM
+    engine: InferenceEngine
+    sequence_store: UserSequenceStore
+    source: Optional[Path] = None
+
+    def batcher(self, max_batch_size: int = 256, head: str = "score") -> MicroBatcher:
+        """Build a micro-batcher bound to one of the engine's endpoints."""
+        score_fn = {
+            "score": self.engine.score,
+            "rank": self.engine.score,
+            "classify": self.engine.classify,
+            "regress": self.engine.regress,
+        }.get(head)
+        if score_fn is None:
+            raise ValueError(f"unknown head {head!r}; expected score/rank/classify/regress")
+        return MicroBatcher(
+            score_fn,
+            max_batch_size=max_batch_size,
+            max_seq_len=self.model.config.max_seq_len,
+            sequence_store=self.sequence_store,
+        )
+
+
+class ModelRegistry:
+    """Keep trained models addressable by name and serve the task endpoints.
+
+    Parameters
+    ----------
+    cache_capacity:
+        Capacity of the per-model :class:`UserSequenceStore` (number of users
+        whose encoded histories stay resident).
+    """
+
+    def __init__(self, cache_capacity: int = 4096):
+        self.cache_capacity = cache_capacity
+        self._entries: Dict[str, RegisteredModel] = {}
+
+    # ------------------------------------------------------------------ #
+    # Registration / persistence
+    # ------------------------------------------------------------------ #
+    def register(self, name: str, model: SeqFM, source: Optional[Path] = None) -> RegisteredModel:
+        """Register an in-memory model under ``name`` (replacing any holder)."""
+        entry = RegisteredModel(
+            name=name,
+            model=model,
+            engine=InferenceEngine(model),
+            sequence_store=UserSequenceStore(
+                model.config.max_seq_len, capacity=self.cache_capacity
+            ),
+            source=Path(source) if source is not None else None,
+        )
+        self._entries[name] = entry
+        return entry
+
+    def load(self, name: str, path: PathLike) -> RegisteredModel:
+        """Load a self-describing SeqFM checkpoint and register it.
+
+        Loading into an existing name whose model has the same architecture
+        hot-swaps the weights in place (the engine and caches survive).
+        """
+        path = Path(path)
+        fresh = load_seqfm(path)
+        existing = self._entries.get(name)
+        if existing is not None and existing.model.config == fresh.config:
+            existing.model.load_state_dict(fresh.state_dict())
+            existing.source = path
+            return existing
+        return self.register(name, fresh, source=path)
+
+    def save(self, name: str, path: PathLike) -> Path:
+        """Checkpoint a registered model via :func:`save_seqfm`."""
+        entry = self.get(name)
+        save_seqfm(entry.model, path)
+        return Path(path)
+
+    def unregister(self, name: str) -> None:
+        self._entries.pop(name, None)
+
+    def get(self, name: str) -> RegisteredModel:
+        if name not in self._entries:
+            raise KeyError(
+                f"no model registered as {name!r}; available: {sorted(self._entries)}"
+            )
+        return self._entries[name]
+
+    def names(self) -> List[str]:
+        return sorted(self._entries)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # ------------------------------------------------------------------ #
+    # Task endpoints (mirror repro.core.tasks)
+    # ------------------------------------------------------------------ #
+    def rank(self, name: str, batch: FeatureBatch) -> np.ndarray:
+        """Raw candidate scores; sort descending to rank (RankingTask)."""
+        return self.get(name).engine.score(batch)
+
+    def classify(self, name: str, batch: FeatureBatch) -> np.ndarray:
+        """Click probabilities σ(ŷ) (ClassificationTask.predict_probability)."""
+        return self.get(name).engine.classify(batch)
+
+    def regress(self, name: str, batch: FeatureBatch) -> np.ndarray:
+        """Predicted ratings (RegressionTask predictions)."""
+        return self.get(name).engine.regress(batch)
+
+    def rank_requests(
+        self, name: str, requests: List[ScoreRequest], max_batch_size: int = 256
+    ) -> np.ndarray:
+        """Micro-batched raw scores for a list of requests, in request order."""
+        return self.get(name).batcher(max_batch_size, head="score").score_all(requests)

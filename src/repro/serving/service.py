@@ -1,0 +1,124 @@
+"""Request-file and stream front-ends over the serving runtime.
+
+Two entry points, both driven by the ``predict-batch`` / ``serve`` CLI
+subcommands (:mod:`repro.experiments.cli`):
+
+* :func:`predict_batch` — score a JSON file of requests in one micro-batched
+  pass and return a JSON-serialisable payload.
+* :func:`serve_jsonl` — a line-oriented request/response loop: each input
+  line is a JSON request (or a JSON list of requests scored as one batch),
+  each output line the matching JSON response.  This is the transport-neutral
+  core a network frontend can wrap; keeping it on file objects makes it fully
+  testable without sockets.
+
+Request objects use the wire format::
+
+    {"static_indices": [4, 17], "history": [3, 7, 12],
+     "user_id": 42, "object_id": 7}
+
+``static_indices`` and ``history`` are model-vocabulary indices — the mapping
+from raw ids is the job of :class:`repro.data.features.FeatureEncoder` (see
+the README quickstart).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Iterable, List
+
+from repro.serving.batcher import MicroBatcher, ScoreRequest
+from repro.serving.registry import ModelRegistry
+
+#: Endpoints a request file / stream may select.
+HEADS = ("score", "rank", "classify", "regress")
+
+
+def parse_request(payload: dict) -> ScoreRequest:
+    """Build a :class:`ScoreRequest` from its JSON wire representation."""
+    if "static_indices" not in payload:
+        raise ValueError("request is missing 'static_indices'")
+    return ScoreRequest(
+        static_indices=[int(index) for index in payload["static_indices"]],
+        history=[int(index) for index in payload.get("history", [])],
+        user_id=int(payload.get("user_id", -1)),
+        object_id=int(payload.get("object_id", -1)),
+    )
+
+
+def parse_requests(payloads: Iterable[dict]) -> List[ScoreRequest]:
+    return [parse_request(payload) for payload in payloads]
+
+
+def predict_batch(
+    registry: ModelRegistry,
+    name: str,
+    payloads: Iterable[dict],
+    head: str = "score",
+    max_batch_size: int = 256,
+) -> dict:
+    """Micro-batch-score a collection of JSON requests.
+
+    Returns a payload with the scores in request order plus the batching and
+    cache statistics of the run.
+    """
+    if head not in HEADS:
+        raise ValueError(f"unknown head {head!r}; expected one of {HEADS}")
+    requests = parse_requests(payloads)
+    if not requests:
+        raise ValueError("no requests to score")
+    entry = registry.get(name)
+    batcher = entry.batcher(max_batch_size=max_batch_size, head=head)
+    cache_before = entry.sequence_store.stats
+    scores = batcher.score_all(requests)
+    cache_after = entry.sequence_store.stats
+    return {
+        "model": name,
+        "head": head,
+        "scores": [float(score) for score in scores],
+        "stats": {
+            "requests": batcher.stats.requests,
+            "batches": batcher.stats.batches,
+            "mean_batch_size": batcher.stats.mean_batch_size,
+            "cache_hits": cache_after.hits - cache_before.hits,
+            "cache_misses": cache_after.misses - cache_before.misses,
+        },
+    }
+
+
+def serve_jsonl(
+    registry: ModelRegistry,
+    name: str,
+    input_stream: IO[str],
+    output_stream: IO[str],
+    head: str = "score",
+    max_batch_size: int = 256,
+) -> int:
+    """Serve JSONL requests until EOF; returns the number of scored rows.
+
+    Protocol: one JSON document per line.  A dict is a single request → the
+    response line is ``{"scores": [s]}``; a list is scored as one batch → the
+    response carries one score per element, in order.  Malformed lines get an
+    ``{"error": ...}`` response instead of killing the loop.  Blank lines are
+    ignored.
+    """
+    if head not in HEADS:
+        raise ValueError(f"unknown head {head!r}; expected one of {HEADS}")
+    entry = registry.get(name)
+    batcher = entry.batcher(max_batch_size=max_batch_size, head=head)
+    total = 0
+    for line in input_stream:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            payload = json.loads(line)
+            documents = payload if isinstance(payload, list) else [payload]
+            scores = batcher.score_all(parse_requests(documents))
+        except (ValueError, KeyError, TypeError, IndexError) as error:
+            output_stream.write(json.dumps({"error": str(error)}) + "\n")
+            output_stream.flush()
+            continue
+        total += len(scores)
+        output_stream.write(json.dumps({"scores": [float(s) for s in scores]}) + "\n")
+        output_stream.flush()
+    return total

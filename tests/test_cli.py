@@ -10,9 +10,17 @@ from __future__ import annotations
 
 import json
 
+import numpy as np
 import pytest
 
-from repro.experiments.cli import EXPERIMENTS, build_parser, main, run_experiment
+from repro.experiments.cli import (
+    EXPERIMENTS,
+    SERVING_COMMANDS,
+    build_parser,
+    build_serving_parser,
+    main,
+    run_experiment,
+)
 
 
 class TestParser:
@@ -62,3 +70,61 @@ class TestExecution:
         exit_code = main(["table1", "--datasets", "beauty"])
         assert exit_code == 0
         assert "Table I" in capsys.readouterr().out
+
+
+class TestServingCommands:
+    @pytest.fixture
+    def checkpoint(self, tmp_path):
+        from repro.core.config import SeqFMConfig
+        from repro.core.model import SeqFM
+        from repro.core.serialization import save_seqfm
+
+        model = SeqFM(SeqFMConfig(static_vocab_size=20, dynamic_vocab_size=15,
+                                  max_seq_len=4, embed_dim=8, seed=0))
+        path = tmp_path / "model.npz"
+        save_seqfm(model, path)
+        return path
+
+    @pytest.fixture
+    def requests_file(self, tmp_path):
+        payloads = [
+            {"static_indices": [1, 11], "history": [2, 3], "user_id": 1, "object_id": 11},
+            {"static_indices": [2, 12], "history": [], "user_id": 2, "object_id": 12},
+        ]
+        path = tmp_path / "requests.json"
+        path.write_text(json.dumps(payloads))
+        return path
+
+    def test_known_serving_commands(self):
+        assert set(SERVING_COMMANDS) == {"serve", "predict-batch"}
+
+    def test_serving_parser_defaults(self, checkpoint):
+        args = build_serving_parser("predict-batch").parse_args(
+            ["--checkpoint", str(checkpoint), "--requests", "r.json"]
+        )
+        assert args.head == "score"
+        assert args.max_batch_size == 256
+        assert args.cache_capacity == 4096
+
+    def test_serving_parser_requires_checkpoint(self):
+        with pytest.raises(SystemExit):
+            build_serving_parser("serve").parse_args([])
+
+    def test_predict_batch_stdout(self, checkpoint, requests_file, capsys):
+        exit_code = main(["predict-batch", "--checkpoint", str(checkpoint),
+                          "--requests", str(requests_file), "--head", "classify"])
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["head"] == "classify"
+        assert len(payload["scores"]) == 2
+        assert all(0.0 < score < 1.0 for score in payload["scores"])
+
+    def test_predict_batch_output_file(self, checkpoint, requests_file, tmp_path, capsys):
+        output = tmp_path / "scores.json"
+        exit_code = main(["predict-batch", "--checkpoint", str(checkpoint),
+                          "--requests", str(requests_file), "--output", str(output)])
+        assert exit_code == 0
+        assert "wrote" in capsys.readouterr().out
+        payload = json.loads(output.read_text())
+        assert len(payload["scores"]) == 2
+        assert np.isfinite(payload["scores"]).all()

@@ -1,0 +1,368 @@
+"""Tests for the serving runtime around the engine: micro-batcher invariants,
+LRU caching, the model registry and the JSONL service front-end."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.config import SeqFMConfig
+from repro.core.model import SeqFM
+from repro.data.batching import pad_sequences
+from repro.data.features import FeatureBatch, FeatureEncoder, PADDING_INDEX
+from repro.serving import (
+    InferenceEngine,
+    LRUCache,
+    MicroBatcher,
+    ModelRegistry,
+    ScoreRequest,
+    UserSequenceStore,
+    predict_batch,
+    serve_jsonl,
+)
+
+CONFIG = SeqFMConfig(static_vocab_size=40, dynamic_vocab_size=30, max_seq_len=6,
+                     embed_dim=8, dropout=0.0, seed=5)
+
+
+@pytest.fixture
+def model() -> SeqFM:
+    model = SeqFM(CONFIG)
+    rng = np.random.default_rng(2)
+    for parameter in model.parameters():
+        parameter.data += rng.normal(0.0, 0.2, parameter.data.shape)
+    model.dynamic_embedding.reset_padding()
+    return model
+
+
+@pytest.fixture
+def engine(model: SeqFM) -> InferenceEngine:
+    return InferenceEngine(model)
+
+
+def make_requests(count: int, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    requests = []
+    for index in range(count):
+        length = int(rng.integers(0, 10))  # some longer than max_seq_len
+        requests.append(ScoreRequest(
+            static_indices=[int(rng.integers(0, 40)), int(rng.integers(0, 40))],
+            history=[int(item) for item in rng.integers(1, 30, length)],
+            user_id=index % 7,
+            object_id=index,
+        ))
+    return requests
+
+
+# --------------------------------------------------------------------------- #
+# pad_sequences collation
+# --------------------------------------------------------------------------- #
+class TestPadSequences:
+    def test_matches_feature_encoder_layout(self, tiny_log):
+        encoder = FeatureEncoder(tiny_log, max_seq_len=4)
+        user_id = 0
+        events = tiny_log.by_user()[user_id]
+        history, candidate = events[:-1], events[-1]
+        example = encoder.encode(user_id, candidate.object_id, history)
+        raw = [int(encoder.dynamic_object_index(event.object_id)) for event in history]
+        indices, mask = pad_sequences([raw], max_seq_len=4)
+        np.testing.assert_array_equal(indices[0], example.dynamic_indices)
+        np.testing.assert_array_equal(mask[0], example.dynamic_mask)
+
+    def test_left_padding_and_truncation(self):
+        indices, mask = pad_sequences([[1, 2], [], [5, 6, 7, 8, 9]], max_seq_len=3)
+        np.testing.assert_array_equal(indices[0], [PADDING_INDEX, 1, 2])
+        np.testing.assert_array_equal(mask[0], [0.0, 1.0, 1.0])
+        np.testing.assert_array_equal(indices[1], [PADDING_INDEX] * 3)
+        np.testing.assert_array_equal(mask[1], [0.0, 0.0, 0.0])
+        # truncation keeps the most recent events
+        np.testing.assert_array_equal(indices[2], [7, 8, 9])
+        np.testing.assert_array_equal(mask[2], [1.0, 1.0, 1.0])
+
+    def test_rejects_bad_length(self):
+        with pytest.raises(ValueError):
+            pad_sequences([[1]], max_seq_len=0)
+
+
+# --------------------------------------------------------------------------- #
+# Micro-batcher
+# --------------------------------------------------------------------------- #
+class TestMicroBatcher:
+    def test_results_in_submission_order(self, engine):
+        requests = make_requests(23, seed=1)
+        batcher = MicroBatcher(engine.score, max_batch_size=5, max_seq_len=CONFIG.max_seq_len)
+        scores = batcher.score_all(requests)
+        # reference: score each request alone (batch of one)
+        singles = np.array([
+            float(engine.score(batcher.collate([request]))[0]) for request in requests
+        ])
+        np.testing.assert_allclose(scores, singles, atol=1e-9)
+        assert batcher.stats.batches >= 5  # 23 requests / max 5 per flush
+
+    def test_auto_flush_at_max_batch_size(self, engine):
+        batcher = MicroBatcher(engine.score, max_batch_size=4, max_seq_len=CONFIG.max_seq_len)
+        handles = [batcher.submit(request) for request in make_requests(4)]
+        assert all(handle.done for handle in handles)  # 4th submit flushed
+        assert len(batcher) == 0
+        assert batcher.stats.batches == 1
+
+    def test_pending_until_flush(self, engine):
+        batcher = MicroBatcher(engine.score, max_batch_size=100, max_seq_len=CONFIG.max_seq_len)
+        handle = batcher.submit(make_requests(1)[0])
+        assert not handle.done
+        with pytest.raises(RuntimeError):
+            _ = handle.value
+        assert batcher.flush() == 1
+        assert handle.done and np.isfinite(handle.value)
+
+    def test_failed_chunk_resolves_handles_with_error(self, engine):
+        """A poison request fails its chunk's handles; the batcher survives."""
+        batcher = MicroBatcher(engine.score, max_batch_size=2, max_seq_len=CONFIG.max_seq_len)
+        good = make_requests(2, seed=5)
+        first = batcher.submit(good[0])
+        with pytest.raises(IndexError):
+            batcher.submit(ScoreRequest(static_indices=[999999, 0]))  # auto-flush fails
+        assert first.done and isinstance(first.error, IndexError)
+        with pytest.raises(IndexError):
+            _ = first.value
+        # the batcher is not wedged: subsequent requests score normally
+        survivor = batcher.submit(good[1])
+        assert batcher.flush() == 1
+        assert survivor.error is None and np.isfinite(survivor.value)
+
+    def test_flush_empty_is_noop(self, engine):
+        batcher = MicroBatcher(engine.score, max_batch_size=4, max_seq_len=CONFIG.max_seq_len)
+        assert batcher.flush() == 0
+
+    def test_collate_padding_invariants(self, engine):
+        batcher = MicroBatcher(engine.score, max_batch_size=8, max_seq_len=CONFIG.max_seq_len)
+        requests = make_requests(8, seed=3)
+        batch = batcher.collate(requests)
+        assert isinstance(batch, FeatureBatch)
+        assert batch.dynamic_indices.shape == (8, CONFIG.max_seq_len)
+        # mask marks exactly the non-padding slots, padding slots hold index 0
+        np.testing.assert_array_equal(batch.dynamic_mask > 0, batch.dynamic_indices != 0)
+        for row, request in enumerate(requests):
+            expected, _ = pad_sequences([request.history], CONFIG.max_seq_len)
+            np.testing.assert_array_equal(batch.dynamic_indices[row], expected[0])
+
+    def test_rejects_ragged_static_features(self, engine):
+        batcher = MicroBatcher(engine.score, max_batch_size=4, max_seq_len=CONFIG.max_seq_len)
+        with pytest.raises(ValueError):
+            batcher.collate([ScoreRequest(static_indices=[1, 2]),
+                             ScoreRequest(static_indices=[1, 2, 3])])
+
+    def test_sequence_store_does_not_change_scores(self, engine):
+        requests = make_requests(30, seed=4)
+        plain = MicroBatcher(engine.score, max_batch_size=10,
+                             max_seq_len=CONFIG.max_seq_len)
+        cached = MicroBatcher(engine.score, max_batch_size=10,
+                              max_seq_len=CONFIG.max_seq_len,
+                              sequence_store=UserSequenceStore(CONFIG.max_seq_len, capacity=64))
+        np.testing.assert_array_equal(plain.score_all(requests), cached.score_all(requests))
+
+    def test_store_seq_len_mismatch_rejected(self, engine):
+        with pytest.raises(ValueError):
+            MicroBatcher(engine.score, max_seq_len=CONFIG.max_seq_len,
+                         sequence_store=UserSequenceStore(CONFIG.max_seq_len + 1))
+
+
+# --------------------------------------------------------------------------- #
+# LRU cache + user-sequence store
+# --------------------------------------------------------------------------- #
+class TestLRUCache:
+    def test_eviction_order(self):
+        cache = LRUCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1       # refreshes "a"
+        cache.put("c", 3)                # evicts "b", the LRU entry
+        assert "b" not in cache
+        assert cache.get("b") is None
+        assert cache.get("a") == 1 and cache.get("c") == 3
+        assert cache.stats.evictions == 1
+
+    def test_put_updates_existing_without_eviction(self):
+        cache = LRUCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("a", 10)
+        cache.put("b", 2)
+        assert len(cache) == 2 and cache.stats.evictions == 0
+        assert cache.get("a") == 10
+
+    def test_stats_and_capacity_validation(self):
+        cache = LRUCache(capacity=1)
+        cache.get("missing")
+        cache.put("x", 1)
+        cache.get("x")
+        assert cache.stats.misses == 1 and cache.stats.hits == 1
+        assert cache.stats.hit_rate == 0.5
+        with pytest.raises(ValueError):
+            LRUCache(capacity=0)
+
+
+class TestUserSequenceStore:
+    def test_hit_on_repeat_history(self):
+        store = UserSequenceStore(max_seq_len=4, capacity=8)
+        first_i, first_m = store.encode(1, [3, 4, 5])
+        second_i, second_m = store.encode(1, [3, 4, 5])
+        assert store.stats.hits == 1 and store.stats.misses == 1
+        assert second_i is first_i and second_m is first_m  # no re-encoding
+
+    def test_changed_history_is_reencoded(self):
+        store = UserSequenceStore(max_seq_len=4, capacity=8)
+        store.encode(1, [3, 4, 5])
+        indices, mask = store.encode(1, [3, 4, 5, 6])
+        assert store.stats.misses == 2 and store.stats.hits == 0
+        expected, _ = pad_sequences([[3, 4, 5, 6]], 4)
+        np.testing.assert_array_equal(indices, expected[0])
+
+    def test_only_visible_suffix_matters(self):
+        """Prefix events beyond max_seq_len do not invalidate the cache."""
+        store = UserSequenceStore(max_seq_len=3, capacity=8)
+        store.encode(1, [9, 1, 2, 3])
+        store.encode(1, [8, 8, 1, 2, 3])  # same last-3 suffix
+        assert store.stats.hits == 1
+
+    def test_lru_eviction_of_users(self):
+        store = UserSequenceStore(max_seq_len=3, capacity=2)
+        store.encode(1, [1])
+        store.encode(2, [2])
+        store.encode(3, [3])  # evicts user 1
+        assert 1 not in store and 2 in store and 3 in store
+        assert store.stats.evictions == 1
+
+    def test_append_event_keeps_entry_fresh(self):
+        store = UserSequenceStore(max_seq_len=3, capacity=8)
+        store.encode(7, [1, 2, 3])
+        store.append_event(7, 4)
+        indices, _ = store.encode(7, [1, 2, 3, 4])  # matches appended state
+        assert store.stats.hits == 1
+        np.testing.assert_array_equal(indices, [2, 3, 4])
+
+    def test_invalidate(self):
+        store = UserSequenceStore(max_seq_len=3, capacity=8)
+        store.encode(7, [1])
+        store.invalidate(7)
+        assert 7 not in store
+
+
+# --------------------------------------------------------------------------- #
+# Registry + service
+# --------------------------------------------------------------------------- #
+class TestModelRegistry:
+    def test_checkpoint_round_trip_preserves_scores(self, model, engine, tmp_path):
+        batch = MicroBatcher(engine.score, max_seq_len=CONFIG.max_seq_len).collate(
+            make_requests(6)
+        )
+        expected = model.score(batch)
+
+        registry = ModelRegistry()
+        registry.register("seqfm", model)
+        path = registry.save("seqfm", tmp_path / "seqfm.npz")
+
+        fresh = ModelRegistry()
+        entry = fresh.load("seqfm", path)
+        assert entry.model.config == model.config
+        np.testing.assert_allclose(fresh.rank("seqfm", batch), expected,
+                                   rtol=0.0, atol=1e-10)
+
+    def test_hot_reload_keeps_engine(self, model, tmp_path):
+        registry = ModelRegistry()
+        entry = registry.register("seqfm", model)
+        registry.save("seqfm", tmp_path / "v1.npz")
+        model.projection.data[...] += 0.5
+        registry.save("seqfm", tmp_path / "v2.npz")
+        reloaded = registry.load("seqfm", tmp_path / "v1.npz")
+        assert reloaded is entry  # same holder: weights swapped in place
+        assert reloaded.engine is entry.engine
+
+    def test_endpoints_mirror_task_heads(self, model):
+        registry = ModelRegistry()
+        registry.register("m", model)
+        batch = MicroBatcher(InferenceEngine(model).score,
+                             max_seq_len=CONFIG.max_seq_len).collate(make_requests(5))
+        scores = registry.rank("m", batch)
+        probabilities = registry.classify("m", batch)
+        np.testing.assert_allclose(
+            probabilities, 1.0 / (1.0 + np.exp(-np.clip(scores, -60, 60))), atol=1e-12
+        )
+        np.testing.assert_array_equal(registry.regress("m", batch), scores)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            ModelRegistry().get("nope")
+
+    def test_names_and_membership(self, model):
+        registry = ModelRegistry()
+        registry.register("b", model)
+        registry.register("a", model)
+        assert registry.names() == ["a", "b"]
+        assert "a" in registry and len(registry) == 2
+        registry.unregister("a")
+        assert "a" not in registry
+
+
+class TestService:
+    def payloads(self, count=5):
+        return [
+            {"static_indices": [index, 20 + index], "history": [1 + index, 2 + index],
+             "user_id": index, "object_id": index}
+            for index in range(count)
+        ]
+
+    def test_predict_batch_payload(self, model):
+        registry = ModelRegistry()
+        registry.register("m", model)
+        response = predict_batch(registry, "m", self.payloads(), head="classify",
+                                 max_batch_size=2)
+        assert response["model"] == "m" and response["head"] == "classify"
+        assert len(response["scores"]) == 5
+        assert all(0.0 < score < 1.0 for score in response["scores"])
+        assert response["stats"]["batches"] >= 3  # 5 requests, flush at 2
+
+    def test_predict_batch_rejects_empty_and_bad_head(self, model):
+        registry = ModelRegistry()
+        registry.register("m", model)
+        with pytest.raises(ValueError):
+            predict_batch(registry, "m", [])
+        with pytest.raises(ValueError):
+            predict_batch(registry, "m", self.payloads(), head="frobnicate")
+
+    def test_engine_rejects_out_of_range_indices(self, engine):
+        batcher = MicroBatcher(engine.score, max_seq_len=CONFIG.max_seq_len)
+        with pytest.raises(IndexError):
+            engine.score(batcher.collate([ScoreRequest(static_indices=[999999, 0])]))
+        with pytest.raises(IndexError):
+            engine.score(batcher.collate([ScoreRequest(static_indices=[0, 1],
+                                                       history=[CONFIG.dynamic_vocab_size])]))
+
+    def test_serve_jsonl_survives_bad_request(self, model):
+        """An out-of-range index must error that line, not kill the loop."""
+        registry = ModelRegistry()
+        registry.register("m", model)
+        bad = {"static_indices": [999999, 0], "history": []}
+        lines = [json.dumps(bad), json.dumps(self.payloads(1)[0])]
+        output = io.StringIO()
+        total = serve_jsonl(registry, "m", io.StringIO("\n".join(lines) + "\n"), output)
+        responses = [json.loads(line) for line in output.getvalue().splitlines()]
+        assert total == 1
+        assert "error" in responses[0] and "out of range" in responses[0]["error"]
+        assert len(responses[1]["scores"]) == 1
+
+    def test_serve_jsonl_round_trip(self, model):
+        registry = ModelRegistry()
+        registry.register("m", model)
+        lines = [json.dumps(self.payloads(1)[0]), "", json.dumps(self.payloads(3)),
+                 "this is not json"]
+        output = io.StringIO()
+        total = serve_jsonl(registry, "m", io.StringIO("\n".join(lines) + "\n"), output)
+        responses = [json.loads(line) for line in output.getvalue().splitlines()]
+        assert total == 4  # 1 + 3 scored rows; blank skipped, bad line errored
+        assert len(responses) == 3
+        assert len(responses[0]["scores"]) == 1
+        assert len(responses[1]["scores"]) == 3
+        assert "error" in responses[2]
