@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := $(CURDIR)/src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench docs-check all
+.PHONY: test bench bench-train docs-check all
 
 # Tier-1 test suite (the acceptance gate for every PR).
 test:
@@ -14,6 +14,11 @@ test:
 # throughput report into results/*.txt.
 bench:
 	$(PYTHON) -m pytest benchmarks/ -q
+
+# Training-throughput benchmark only: looped vs fused negative sampling
+# (writes results/training_throughput.txt).
+bench-train:
+	$(PYTHON) -m pytest benchmarks/test_training_throughput.py -q
 
 # Fail if the README's code blocks have drifted from the public API: extracts
 # and executes every ```python fence in README.md.

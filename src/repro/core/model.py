@@ -115,29 +115,66 @@ class SeqFM(Module):
     # Components
     # ------------------------------------------------------------------ #
     def _linear_term(self, batch: FeatureBatch) -> Tensor:
-        """w₀ + Σᵢ wᵢ xᵢ over the non-zero static and dynamic features (Eq. 4)."""
+        """w₀ + Σᵢ wᵢ xᵢ over the non-zero static and dynamic features (Eq. 4).
+
+        Like :meth:`_interaction_term`, the history-only dynamic sum of a
+        candidate-fused batch (``dynamic_tile > 1``) is computed once per
+        group and gathered out to all rows.
+        """
+        rows = batch.static_indices.shape[0]
+        tile = getattr(batch, "dynamic_tile", 1) or 1
+        base = rows // tile if tile > 1 and rows % tile == 0 else rows
+
         static_weights = self.static_linear.gather_rows(batch.static_indices).sum(axis=-1)
-        dynamic_weights = self.dynamic_linear.gather_rows(batch.dynamic_indices)
-        masked_dynamic = dynamic_weights * Tensor(batch.dynamic_mask)
+        dynamic_weights = self.dynamic_linear.gather_rows(batch.dynamic_indices[:base])
+        masked_dynamic = dynamic_weights * Tensor(batch.dynamic_mask[:base])
         dynamic_sum = masked_dynamic.sum(axis=-1)
+        if base < rows:
+            dynamic_sum = dynamic_sum.gather_rows(np.tile(np.arange(base), rows // base))
         return self.global_bias + static_weights + dynamic_sum
 
     def _interaction_term(self, batch: FeatureBatch) -> Tensor:
-        """f(G°, G˙): the multi-view self-attentive factorisation (Eq. 5-18)."""
-        static_embedded = self.static_embedding(batch.static_indices)
-        dynamic_embedded = self.dynamic_embedding(batch.dynamic_indices)
+        """f(G°, G˙): the multi-view self-attentive factorisation (Eq. 5-18).
 
-        pooled_views: List[Tensor] = []
+        When the batch is candidate-fused (``dynamic_tile > 1``, see
+        :meth:`~repro.data.features.FeatureBatch.with_candidates`) the dynamic
+        arrays are vertical copies of their first ``batch/tile`` rows, so the
+        dynamic view — the n˙²-cost attention that only depends on the history
+        — is computed once per group and its refined representation gathered
+        back out to all rows; gradients scatter-add through the gather, which
+        is exactly the sum the tiled computation would produce.  The static
+        and cross views depend on the candidate and always run on every row.
+        """
+        rows = batch.static_indices.shape[0]
+        tile = getattr(batch, "dynamic_tile", 1) or 1
+        base = rows // tile if tile > 1 and rows % tile == 0 else rows
+        tile_map = np.tile(np.arange(base), rows // base) if base < rows else None
+
+        static_embedded = self.static_embedding(batch.static_indices)
+        dynamic_embedded = self.dynamic_embedding(batch.dynamic_indices[:base])
+
+        # (pooled representation, needs re-tiling to all rows after the FFN)
+        pooled_views: List[tuple] = []
         if self.static_view is not None:
-            pooled_views.append(self.static_view(static_embedded))
+            pooled_views.append((self.static_view(static_embedded), False))
         if self.dynamic_view is not None:
-            pooled_views.append(self.dynamic_view(dynamic_embedded, batch.dynamic_mask))
-        if self.cross_view is not None:
             pooled_views.append(
-                self.cross_view(static_embedded, dynamic_embedded, batch.dynamic_mask)
+                (self.dynamic_view(dynamic_embedded, batch.dynamic_mask[:base]),
+                 tile_map is not None)
+            )
+        if self.cross_view is not None:
+            dynamic_full = (
+                dynamic_embedded.gather_rows(tile_map) if tile_map is not None
+                else dynamic_embedded
+            )
+            pooled_views.append(
+                (self.cross_view(static_embedded, dynamic_full, batch.dynamic_mask), False)
             )
 
-        refined = [self._apply_ffn(view, index) for index, view in enumerate(pooled_views)]
+        refined: List[Tensor] = []
+        for index, (view, deduped) in enumerate(pooled_views):
+            out = self._apply_ffn(view, index)
+            refined.append(out.gather_rows(tile_map) if deduped else out)
         aggregated = Tensor.concatenate(refined, axis=-1)  # (batch, num_views * d)
         return aggregated @ self.projection
 

@@ -35,6 +35,18 @@ from repro.nn import kernels
 from repro.nn.module import Module
 
 
+def _check_fused_shape(fused_batch: FeatureBatch, num_positives: int,
+                       negatives_per_positive: int) -> None:
+    expected = num_positives * (1 + negatives_per_positive)
+    if num_positives < 1 or negatives_per_positive < 1:
+        raise ValueError("fused loss needs at least one positive and one negative draw")
+    if len(fused_batch) != expected:
+        raise ValueError(
+            f"fused batch has {len(fused_batch)} rows; expected "
+            f"{num_positives} positives x (1 + {negatives_per_positive}) = {expected}"
+        )
+
+
 class TaskModel(Module):
     """Common base: wraps a scorer module and exposes prediction helpers."""
 
@@ -54,6 +66,22 @@ class TaskModel(Module):
     def loss(self, batch: FeatureBatch, negative_batch: Optional[FeatureBatch] = None) -> Tensor:
         raise NotImplementedError
 
+    def fused_loss(self, fused_batch: FeatureBatch, num_positives: int,
+                   negatives_per_positive: int) -> Tensor:
+        """Loss over a fused (positive + all negative draws) batch.
+
+        ``fused_batch`` is laid out by
+        :meth:`repro.data.features.FeatureBatch.with_candidates`: the first
+        ``num_positives`` rows are the positives, followed by
+        ``negatives_per_positive`` draw-major blocks of negatives (row
+        ``num_positives + d*num_positives + i`` pairs with positive ``i``).
+        One forward/backward pass over the fused batch replaces the
+        ``negatives_per_positive`` separate passes of the looped trainer; the
+        value equals the looped average of per-draw losses exactly (up to
+        floating-point summation order).
+        """
+        raise NotImplementedError(f"{type(self).__name__} does not define a fused loss")
+
 
 class RankingTask(TaskModel):
     """BPR-optimised ranking (next-POI recommendation, Section IV-A)."""
@@ -65,6 +93,22 @@ class RankingTask(TaskModel):
             raise ValueError("ranking loss requires a negative candidate batch")
         positive_scores = self.forward(batch)
         negative_scores = self.forward(negative_batch)
+        return F.bpr_loss(positive_scores, negative_scores)
+
+    def fused_loss(self, fused_batch: FeatureBatch, num_positives: int,
+                   negatives_per_positive: int) -> Tensor:
+        """Pairwise BPR over every (positive, draw) pair in one pass.
+
+        The looped trainer averages ``k`` per-draw BPR means, each over ``B``
+        pairs — identical to the mean over all ``k·B`` pairs computed here.
+        """
+        _check_fused_shape(fused_batch, num_positives, negatives_per_positive)
+        scores = self.forward(fused_batch)
+        positive_scores = scores[:num_positives]
+        negative_scores = scores[num_positives:].reshape(
+            negatives_per_positive, num_positives
+        )
+        # (B,) broadcast against (k, B): every draw pairs with its positive.
         return F.bpr_loss(positive_scores, negative_scores)
 
 
@@ -81,6 +125,26 @@ class ClassificationTask(TaskModel):
             logits = Tensor.concatenate([logits, negative_logits], axis=0)
             labels = np.concatenate([labels, np.zeros(len(negative_batch))])
         return F.binary_cross_entropy_with_logits(logits, labels)
+
+    def fused_loss(self, fused_batch: FeatureBatch, num_positives: int,
+                   negatives_per_positive: int) -> Tensor:
+        """Per-row log loss over the fused block, weighted to match the loop.
+
+        The looped trainer averages ``k`` per-draw means, each over the ``2B``
+        rows ``[positives; draw_d]`` — so every positive row is counted once
+        per draw while each negative row appears in exactly one draw.  The
+        equivalent single-pass weighting is ``1/(2B)`` per positive row and
+        ``1/(2Bk)`` per negative row.
+        """
+        _check_fused_shape(fused_batch, num_positives, negatives_per_positive)
+        logits = self.forward(fused_batch)
+        num_negatives = num_positives * negatives_per_positive
+        per_example = F.softplus(logits) - Tensor(fused_batch.labels) * logits
+        weights = np.concatenate([
+            np.full(num_positives, 1.0 / (2 * num_positives)),
+            np.full(num_negatives, 1.0 / (2 * num_positives * negatives_per_positive)),
+        ])
+        return (per_example * Tensor(weights)).sum()
 
     def predict_probability(self, batch: FeatureBatch) -> np.ndarray:
         """σ(ŷ) ∈ (0, 1): the click probability of Eq. 23."""

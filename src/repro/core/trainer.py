@@ -40,7 +40,26 @@ class TrainerConfig:
         Number of sampled negatives per positive training instance for the
         ranking / classification tasks (paper: 5).
     convergence_tolerance:
-        Stop when the relative improvement of the epoch loss falls below this.
+        Stop when the absolute relative change of the epoch loss falls below
+        this.
+    fused_negatives:
+        Train through the fused fast path: positive and all sampled negatives
+        collated into one ``batch*(1+k)``-row forward/backward pass per step
+        (default).  Disable to fall back to one forward/backward pass per
+        negative draw.  Both paths draw identical negatives and optimise the
+        same objective; with dropout disabled their losses are equal up to
+        summation order, while with dropout active they realise different
+        (equally valid) dropout masks — the fused pass draws one mask per
+        step where the looped pass redraws per forward.
+    divergence_tolerance:
+        Relative per-epoch loss *worsening* that counts as a divergence step.
+        Deliberately percent-level — far above ``convergence_tolerance`` — so
+        ordinary stochastic epoch-loss noise (fresh negative draws, reshuffled
+        batches) near a plateau is never mistaken for divergence.
+    divergence_patience:
+        Stop (recording ``stop_reason='diverged'``) after this many
+        *consecutive* epochs whose loss worsened by more than
+        ``divergence_tolerance``.  ``0`` disables divergence stopping.
     seed:
         Seed controlling shuffling and negative sampling inside the loop.
     verbose:
@@ -52,6 +71,9 @@ class TrainerConfig:
     learning_rate: float = 5e-3
     negatives_per_positive: int = 2
     convergence_tolerance: float = 1e-4
+    fused_negatives: bool = True
+    divergence_tolerance: float = 0.05
+    divergence_patience: int = 3
     seed: int = 0
     verbose: bool = False
 
@@ -71,12 +93,18 @@ class TrainingResult:
     validation_history:
         Metric dictionaries produced by the validation callback, one per epoch
         (empty when no callback was supplied).
+    stop_reason:
+        Why the loop ended: ``"converged"`` (relative loss change below the
+        convergence tolerance), ``"diverged"`` (loss worsened beyond the
+        divergence tolerance for ``divergence_patience`` consecutive epochs)
+        or ``"max_epochs"``.
     """
 
     epoch_losses: List[float] = field(default_factory=list)
     train_seconds: float = 0.0
     epochs_run: int = 0
     validation_history: List[Dict[str, float]] = field(default_factory=list)
+    stop_reason: str = "max_epochs"
 
     @property
     def final_loss(self) -> float:
@@ -124,6 +152,8 @@ class Trainer:
         validation_callback: Optional[Callable[[TaskModel], Dict[str, float]]] = None,
     ) -> TrainingResult:
         """Run the optimisation loop and return its :class:`TrainingResult`."""
+        if len(train_examples) == 0:
+            raise ValueError("Trainer.fit received no training examples")
         iterator = BatchIterator(
             train_examples,
             batch_size=self.config.batch_size,
@@ -134,6 +164,7 @@ class Trainer:
         result = TrainingResult()
         start_time = time.perf_counter()
         previous_loss = None
+        divergence_streak = 0
 
         for epoch in range(self.config.epochs):
             self.task_model.train()
@@ -148,10 +179,19 @@ class Trainer:
             if self.config.verbose:
                 print(f"epoch {epoch + 1}/{self.config.epochs}: loss={epoch_loss:.5f}")
 
-            if previous_loss is not None and previous_loss > 0:
+            if previous_loss is not None and previous_loss != 0:
                 relative_improvement = (previous_loss - epoch_loss) / abs(previous_loss)
-                if 0 <= relative_improvement < self.config.convergence_tolerance:
+                if abs(relative_improvement) < self.config.convergence_tolerance:
+                    result.stop_reason = "converged"
                     break
+                if relative_improvement < -self.config.divergence_tolerance:
+                    divergence_streak += 1
+                    if (self.config.divergence_patience
+                            and divergence_streak >= self.config.divergence_patience):
+                        result.stop_reason = "diverged"
+                        break
+                else:
+                    divergence_streak = 0
             previous_loss = epoch_loss
 
         result.train_seconds = time.perf_counter() - start_time
@@ -203,8 +243,35 @@ class Trainer:
         return float(loss.item())
 
     def _loss_with_negatives(self, batch: FeatureBatch, task: str):
+        """Average task loss over ``negatives_per_positive`` negative draws.
+
+        The negatives are always drawn the same way (one :meth:`sample_batch`
+        call per draw, so both paths consume the sampler's generator
+        identically); what differs is the execution strategy:
+
+        * **fused** (default) — all draws are collated with the positives into
+          one ``batch*(1+k)``-row :class:`FeatureBatch` and pushed through a
+          single forward/backward pass (:meth:`TaskModel.fused_loss`);
+        * **looped** — one forward/backward per draw, averaged.
+
+        With a deterministic forward (dropout off) both produce the same loss
+        value up to floating-point summation order; with dropout they differ
+        only in mask realisation (see :class:`TrainerConfig`).
+        """
+        num_draws = self.config.negatives_per_positive
+        if num_draws < 1:
+            raise ValueError("negatives_per_positive must be at least 1 for "
+                             f"{task} training")
+        if self.config.fused_negatives:
+            negatives = np.stack([
+                self.sampler.sample_batch(batch.user_ids, batch.object_ids)
+                for _ in range(num_draws)
+            ])
+            fused = batch.with_candidates(self.encoder, negatives)
+            return self.task_model.fused_loss(fused, len(batch), num_draws)
+
         losses = []
-        for _ in range(self.config.negatives_per_positive):
+        for _ in range(num_draws):
             negative_objects = self.sampler.sample_batch(batch.user_ids, batch.object_ids)
             negative_batch = batch.with_candidate(self.encoder, negative_objects)
             losses.append(self.task_model.loss(batch, negative_batch))

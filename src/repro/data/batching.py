@@ -20,6 +20,13 @@ __all__ = ["BatchIterator", "pad_sequences"]
 class BatchIterator:
     """Iterate over :class:`EncodedExample` objects in shuffled mini-batches.
 
+    Collation is performed **once**: the constructor stacks every example into
+    dense dataset-wide arrays (the same work
+    :meth:`~repro.data.features.FeatureBatch.from_examples` would do per
+    batch), and each epoch merely fancy-indexes rows out of that cache.  For a
+    multi-epoch training run this removes the per-example Python loop from
+    every epoch after the first, while producing bit-identical batches.
+
     Parameters
     ----------
     examples:
@@ -52,12 +59,25 @@ class BatchIterator:
         self.shuffle = shuffle
         self.drop_last = drop_last
         self._rng = np.random.default_rng(seed)
+        self._collated = FeatureBatch.from_examples(self.examples)
 
     def __len__(self) -> int:
         full, remainder = divmod(len(self.examples), self.batch_size)
         if remainder and not self.drop_last:
             return full + 1
         return full
+
+    def _take(self, rows: np.ndarray) -> FeatureBatch:
+        """Materialise a batch as row copies out of the collation cache."""
+        collated = self._collated
+        return FeatureBatch(
+            static_indices=collated.static_indices[rows],
+            dynamic_indices=collated.dynamic_indices[rows],
+            dynamic_mask=collated.dynamic_mask[rows],
+            labels=collated.labels[rows],
+            user_ids=collated.user_ids[rows],
+            object_ids=collated.object_ids[rows],
+        )
 
     def __iter__(self) -> Iterator[FeatureBatch]:
         order = np.arange(len(self.examples))
@@ -67,4 +87,4 @@ class BatchIterator:
             chunk = order[start:start + self.batch_size]
             if self.drop_last and chunk.size < self.batch_size:
                 break
-            yield FeatureBatch.from_examples([self.examples[i] for i in chunk])
+            yield self._take(chunk)

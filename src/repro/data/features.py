@@ -102,6 +102,11 @@ class FeatureBatch:
     labels: np.ndarray           # (batch,) float64
     user_ids: np.ndarray         # (batch,) int64
     object_ids: np.ndarray       # (batch,) int64
+    #: Structural hint set by :meth:`with_candidates`: the dynamic arrays are
+    #: ``dynamic_tile`` vertical copies of their first ``batch/dynamic_tile``
+    #: rows (candidates differ, histories repeat).  Models may exploit this to
+    #: compute history-only work once per group; ``1`` means no tiling.
+    dynamic_tile: int = 1
 
     def __len__(self) -> int:
         return self.static_indices.shape[0]
@@ -122,9 +127,9 @@ class FeatureBatch:
     def with_candidate(self, encoder: "FeatureEncoder", object_ids: np.ndarray) -> "FeatureBatch":
         """Return a copy of the batch with the candidate object replaced.
 
-        Used by the BPR trainer (swap positive for sampled negative) and by
-        the ranking evaluation protocol (score J+1 candidates that share the
-        same user and history).
+        Used by the looped BPR trainer (swap positive for sampled negative)
+        and by the ranking evaluation protocol (score J+1 candidates that
+        share the same user and history).
         """
         object_ids = np.asarray(object_ids, dtype=np.int64)
         if object_ids.shape != self.object_ids.shape:
@@ -138,6 +143,44 @@ class FeatureBatch:
             labels=self.labels,
             user_ids=self.user_ids,
             object_ids=object_ids,
+        )
+
+    def with_candidates(self, encoder: "FeatureEncoder", object_ids: np.ndarray) -> "FeatureBatch":
+        """Fuse this batch with ``k`` negative candidate draws into one batch.
+
+        ``object_ids`` has shape ``(k, batch)`` — draw-major: row ``d`` holds
+        draw ``d``'s negative object for every positive.  The returned batch
+        has ``batch * (1 + k)`` rows laid out as
+
+        * rows ``[0, batch)`` — the positives, labels untouched;
+        * row ``batch + d*batch + i`` — draw ``d``'s negative for positive
+          ``i``, label ``0.0``.
+
+        All rows of a (positive, negatives) group share the same user and
+        dynamic history, so one forward pass over the fused batch scores the
+        positive and every sampled negative together — the training fast path
+        (:meth:`repro.core.tasks.TaskModel.fused_loss`).  The returned batch
+        carries ``dynamic_tile = 1 + k`` so the model can compute
+        history-only work (the dynamic view) once per group.
+        """
+        object_ids = np.asarray(object_ids, dtype=np.int64)
+        if object_ids.ndim != 2 or object_ids.shape[1] != len(self):
+            raise ValueError(
+                f"candidate matrix must have shape (num_draws, {len(self)}), "
+                f"got {object_ids.shape}"
+            )
+        num_draws = object_ids.shape[0]
+        flat_negatives = object_ids.reshape(-1)
+        static = np.tile(self.static_indices, (1 + num_draws, 1))
+        static[len(self):, encoder.candidate_slot] = encoder.static_object_index(flat_negatives)
+        return FeatureBatch(
+            static_indices=static,
+            dynamic_indices=np.tile(self.dynamic_indices, (1 + num_draws, 1)),
+            dynamic_mask=np.tile(self.dynamic_mask, (1 + num_draws, 1)),
+            labels=np.concatenate([self.labels, np.zeros(len(self) * num_draws)]),
+            user_ids=np.tile(self.user_ids, 1 + num_draws),
+            object_ids=np.concatenate([self.object_ids, flat_negatives]),
+            dynamic_tile=1 + num_draws,
         )
 
 

@@ -42,6 +42,12 @@ class NegativeSampler:
         self._seen: Dict[int, Set[int]] = {
             user: set(log.objects_of_user(user)) for user in log.users
         }
+        # Lazily built vectorised index over the seen sets (see _seen_index):
+        # sorted user ids and sorted (user_rank * |objects| + object_rank)
+        # pair keys, enabling a searchsorted membership test over whole
+        # batches at once.  Invalidated by mark_seen.
+        self._user_list: Optional[np.ndarray] = None
+        self._seen_keys: Optional[np.ndarray] = None
 
     @property
     def object_universe(self) -> np.ndarray:
@@ -53,6 +59,25 @@ class NegativeSampler:
     def mark_seen(self, user_id: int, object_id: int) -> None:
         """Add an interaction to the user's seen set (e.g. held-out records)."""
         self._seen.setdefault(user_id, set()).add(object_id)
+        self._user_list = None
+        self._seen_keys = None
+
+    def _seen_index(self) -> tuple:
+        """Sorted ``(user_list, pair_keys)`` arrays for batched membership tests."""
+        if self._user_list is None or self._seen_keys is None:
+            self._user_list = np.array(sorted(self._seen), dtype=np.int64)
+            num_objects = self._objects.size
+            keys = []
+            for rank, user in enumerate(self._user_list):
+                seen = np.array(sorted(self._seen[int(user)]), dtype=np.int64)
+                position = np.searchsorted(self._objects, seen)
+                position = np.clip(position, 0, num_objects - 1)
+                in_universe = self._objects[position] == seen
+                keys.append(rank * num_objects + position[in_universe])
+            self._seen_keys = (
+                np.sort(np.concatenate(keys)) if keys else np.empty(0, dtype=np.int64)
+            )
+        return self._user_list, self._seen_keys
 
     def sample_for_user(self, user_id: int, count: int) -> np.ndarray:
         """Draw ``count`` objects the user never interacted with (no replacement
@@ -72,21 +97,49 @@ class NegativeSampler:
         """One negative per (user, positive) pair; vectorised rejection sampling.
 
         Most draws from a sparse interaction log are already unseen, so a few
-        rounds of resampling the collisions is much faster than per-user set
-        differences.
+        rounds of resampling the collisions beat per-user set differences.
+        Both the draws and the collision test are fully vectorised: seen-set
+        membership is a ``searchsorted`` over precomputed (user, object) pair
+        keys, so no Python-level loop touches the batch.  Rows still colliding
+        after the rejection rounds fall back to an exact per-user set
+        difference, so a returned negative is never a seen object (unless the
+        user has interacted with the entire universe).
         """
-        user_ids = np.asarray(user_ids)
-        positives = np.asarray(positives)
+        user_ids = np.asarray(user_ids, dtype=np.int64)
+        positives = np.asarray(positives, dtype=np.int64)
+        user_list, seen_keys = self._seen_index()
+        num_objects = self._objects.size
+
+        user_rank = np.searchsorted(user_list, user_ids)
+        user_rank = np.clip(user_rank, 0, max(user_list.size - 1, 0))
+        known_user = (
+            user_list[user_rank] == user_ids if user_list.size else np.zeros(user_ids.shape, bool)
+        )
+
+        def collides(rows: np.ndarray, candidates: np.ndarray) -> np.ndarray:
+            hit = candidates == positives[rows]
+            if seen_keys.size:
+                position = np.searchsorted(self._objects, candidates)
+                keys = user_rank[rows] * num_objects + position
+                slot = np.clip(np.searchsorted(seen_keys, keys), 0, seen_keys.size - 1)
+                hit |= known_user[rows] & (seen_keys[slot] == keys)
+            return hit
+
         negatives = self._rng.choice(self._objects, size=user_ids.shape[0], replace=True)
+        pending = np.arange(user_ids.shape[0])
         for _ in range(20):
-            collisions = np.array([
-                negatives[i] == positives[i] or negatives[i] in self._seen.get(int(user_ids[i]), set())
-                for i in range(user_ids.shape[0])
-            ])
-            if not collisions.any():
-                break
-            resampled = self._rng.choice(self._objects, size=int(collisions.sum()), replace=True)
-            negatives[collisions] = resampled
+            pending = pending[collides(pending, negatives[pending])]
+            if pending.size == 0:
+                return negatives
+            negatives[pending] = self._rng.choice(self._objects, size=pending.size, replace=True)
+
+        # Stubborn rows (dense users): exact set-difference fallback.
+        pending = pending[collides(pending, negatives[pending])]
+        for row in pending:
+            seen = self._seen.get(int(user_ids[row]), set())
+            unseen = self._objects[~np.isin(self._objects, list(seen | {int(positives[row])}))]
+            if unseen.size:
+                negatives[row] = self._rng.choice(unseen)
         return negatives
 
     def evaluation_candidates(self, user_id: int, ground_truth: int, num_negatives: int) -> np.ndarray:

@@ -10,6 +10,12 @@ Regenerate any table or figure of the paper from the shell::
 ``--output`` / ``--output-dir`` export the regenerated tables as JSON via
 :mod:`repro.core.serialization` so runs can be archived and diffed.
 
+Train a model on any registered dataset and write a checkpoint the serving
+runtime loads directly (the train → serve loop)::
+
+    python -m repro.experiments.cli train \
+        --dataset gowalla --scale quick --checkpoint ckpt.npz
+
 Serve a trained checkpoint (see :mod:`repro.serving`)::
 
     python -m repro.experiments.cli predict-batch \
@@ -44,14 +50,17 @@ EXPERIMENTS = ("table1", "table2", "table3", "table4", "table5", "figure3", "fig
 #: different option set than the table/figure runners).
 SERVING_COMMANDS = ("serve", "predict-batch")
 
+#: Training subcommand, likewise dispatched before the experiment parser.
+TRAIN_COMMAND = "train"
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Regenerate the tables and figures of the SeqFM paper (ICDE 2020).",
-        epilog="Serving subcommands (separate option sets): "
-               "'serve' and 'predict-batch' — run e.g. "
-               "'python -m repro.experiments.cli predict-batch --help'.",
+        epilog="Training/serving subcommands (separate option sets): "
+               "'train', 'serve' and 'predict-batch' — run e.g. "
+               "'python -m repro.experiments.cli train --help'.",
     )
     parser.add_argument("experiment", choices=EXPERIMENTS + ("all",),
                         help="which artefact to regenerate")
@@ -162,6 +171,69 @@ def run_experiment(name: str, scale: str, datasets: Optional[List[str]], seed: i
     raise ValueError(f"unknown experiment {name!r}")
 
 
+def build_train_parser() -> argparse.ArgumentParser:
+    """Parser for the ``train`` subcommand."""
+    from repro.experiments.registry import SCALES, dataset_names
+
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments train",
+        description="Train SeqFM on a registered dataset and write a serving checkpoint.",
+    )
+    parser.add_argument("--dataset", required=True, choices=dataset_names(),
+                        help="registered dataset (its task head is implied)")
+    parser.add_argument("--scale", default="quick", choices=sorted(SCALES),
+                        help="dataset / training size (default: quick)")
+    parser.add_argument("--checkpoint", type=Path, required=True,
+                        help="where to write the trained SeqFM checkpoint (.npz)")
+    parser.add_argument("--epochs", type=int, default=None,
+                        help="override the scale's epoch budget")
+    parser.add_argument("--batch-size", type=int, default=None,
+                        help="override the scale's mini-batch size")
+    parser.add_argument("--learning-rate", type=float, default=None,
+                        help="override the scale's Adam learning rate")
+    parser.add_argument("--negatives", type=int, default=None,
+                        help="negatives per positive (ranking/classification)")
+    parser.add_argument("--seed", type=int, default=0, help="model / training seed")
+    parser.add_argument("--looped-negatives", action="store_true",
+                        help="use the slow per-draw training path instead of the "
+                             "fused fast path (debugging / comparison only)")
+    return parser
+
+
+def run_train(argv: List[str]) -> int:
+    """Train on a registered dataset, report progress, write the checkpoint."""
+    from repro.core.serialization import save_seqfm
+    from repro.experiments.registry import build_context
+
+    args = build_train_parser().parse_args(argv)
+    context = build_context(args.dataset, scale=args.scale)
+    print(f"dataset={context.dataset} task={context.task} scale={args.scale} "
+          f"examples={len(context.train_examples)}")
+
+    overrides = {"verbose": True, "fused_negatives": not args.looped_negatives,
+                 "seed": args.seed}
+    for name, value in (("epochs", args.epochs), ("batch_size", args.batch_size),
+                        ("learning_rate", args.learning_rate),
+                        ("negatives_per_positive", args.negatives)):
+        if value is not None:
+            overrides[name] = value
+    trainer_config = context.trainer_config(**overrides)
+
+    from repro.experiments.runners import build_model, train_model
+
+    task_model = build_model(context, "SeqFM", seed=args.seed)
+    result = train_model(context, task_model, trainer_config)
+    print(f"stopped after {result.epochs_run} epochs ({result.stop_reason}); "
+          f"final loss {result.final_loss:.5f} in {result.train_seconds:.1f}s")
+
+    save_seqfm(task_model.scorer, args.checkpoint)
+    print(f"wrote {args.checkpoint}")
+    head = {"ranking": "rank", "classification": "classify", "regression": "regress"}[context.task]
+    print(f"serve it:  python -m repro.experiments.cli predict-batch "
+          f"--checkpoint {args.checkpoint} --requests requests.json --head {head}")
+    return 0
+
+
 def build_serving_parser(command: str) -> argparse.ArgumentParser:
     """Parser for the ``serve`` / ``predict-batch`` subcommands."""
     parser = argparse.ArgumentParser(
@@ -238,6 +310,8 @@ def run_serving(command: str, argv: List[str]) -> int:
 
 def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == TRAIN_COMMAND:
+        return run_train(argv[1:])
     if argv and argv[0] in SERVING_COMMANDS:
         return run_serving(argv[0], argv[1:])
     args = build_parser().parse_args(argv)

@@ -65,6 +65,11 @@ _GENERATORS = {
 }
 
 
+def dataset_names() -> List[str]:
+    """Names accepted by :func:`build_context` (and the CLI's ``--dataset``)."""
+    return sorted(_GENERATORS)
+
+
 @dataclass
 class ExperimentContext:
     """Everything a runner needs for one dataset at one scale."""

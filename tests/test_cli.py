@@ -128,3 +128,47 @@ class TestServingCommands:
         payload = json.loads(output.read_text())
         assert len(payload["scores"]) == 2
         assert np.isfinite(payload["scores"]).all()
+
+
+class TestTrainCommand:
+    def test_train_parser_defaults(self):
+        from repro.experiments.cli import build_train_parser
+
+        args = build_train_parser().parse_args(
+            ["--dataset", "gowalla", "--checkpoint", "ckpt.npz"]
+        )
+        assert args.scale == "quick"
+        assert args.epochs is None
+        assert not args.looped_negatives
+
+    def test_train_parser_rejects_unknown_dataset(self):
+        from repro.experiments.cli import build_train_parser
+
+        with pytest.raises(SystemExit):
+            build_train_parser().parse_args(
+                ["--dataset", "netflix", "--checkpoint", "ckpt.npz"]
+            )
+
+    def test_train_writes_servable_checkpoint(self, tmp_path, capsys):
+        """The train -> serve loop: the checkpoint loads into the registry."""
+        from repro.serving import ModelRegistry
+
+        checkpoint = tmp_path / "ranker.npz"
+        exit_code = main(["train", "--dataset", "gowalla", "--scale", "quick",
+                          "--epochs", "1", "--checkpoint", str(checkpoint)])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert checkpoint.exists()
+        assert "task=ranking" in output
+        assert "wrote" in output
+
+        registry = ModelRegistry()
+        entry = registry.load("ranker", checkpoint)
+        batcher = entry.batcher(head="score")
+        from repro.serving import ScoreRequest
+
+        scores = batcher.score_all([
+            ScoreRequest(static_indices=[0, entry.model.config.static_vocab_size - 1],
+                         history=[1, 2, 3], user_id=0, object_id=1),
+        ])
+        assert np.isfinite(scores).all()

@@ -172,6 +172,166 @@ class TestTrainer:
         assert not task.training
 
 
+class TestFusedNegatives:
+    """The fused (1+k)-candidate fast path must equal the looped path."""
+
+    NUM_DRAWS = 5
+
+    def _negatives(self, sampler, batch):
+        return np.stack([
+            sampler.sample_batch(batch.user_ids, batch.object_ids)
+            for _ in range(self.NUM_DRAWS)
+        ])
+
+    @pytest.mark.parametrize("task_cls", [SeqFMRanker, SeqFMClassifier])
+    def test_fused_loss_equals_looped_average(self, seqfm_config, encoder, ranking_batch,
+                                              sampler, task_cls):
+        task = task_cls(seqfm_config)  # dropout=0.0 in the fixture: deterministic
+        negatives = self._negatives(sampler, ranking_batch)
+        looped = sum(
+            task.loss(ranking_batch,
+                      ranking_batch.with_candidate(encoder, negatives[draw])).item()
+            for draw in range(self.NUM_DRAWS)
+        ) / self.NUM_DRAWS
+        fused = task.fused_loss(
+            ranking_batch.with_candidates(encoder, negatives),
+            len(ranking_batch), self.NUM_DRAWS,
+        ).item()
+        assert fused == pytest.approx(looped, abs=1e-8)
+
+    @pytest.mark.parametrize("task_cls,task", [(SeqFMRanker, "ranking"),
+                                               (SeqFMClassifier, "classification")])
+    def test_fused_trainer_epoch_losses_match_looped(self, seqfm_config, encoder, split,
+                                                     sampler, task_cls, task, tiny_log):
+        from repro.data.sampling import NegativeSampler
+
+        examples = encoder.encode_training_instances(split.train)
+        losses = {}
+        for fused in (True, False):
+            model = task_cls(seqfm_config)
+            fresh_sampler = NegativeSampler(tiny_log, seed=0)
+            trainer = Trainer(model, encoder, fresh_sampler,
+                              TrainerConfig(epochs=3, batch_size=8, learning_rate=0.02,
+                                            negatives_per_positive=self.NUM_DRAWS,
+                                            convergence_tolerance=0.0, seed=0,
+                                            fused_negatives=fused))
+            losses[fused] = trainer.fit(examples).epoch_losses
+        np.testing.assert_allclose(losses[True], losses[False], atol=1e-8)
+
+    def test_fused_gradients_match_looped(self, seqfm_config, encoder, ranking_batch, sampler):
+        """One fused backward accumulates the same gradients as k looped ones."""
+        negatives = self._negatives(sampler, ranking_batch)
+        gradients = {}
+        for fused in (True, False):
+            task = SeqFMRanker(seqfm_config)
+            for parameter in task.parameters():
+                parameter.zero_grad()
+            if fused:
+                loss = task.fused_loss(ranking_batch.with_candidates(encoder, negatives),
+                                       len(ranking_batch), self.NUM_DRAWS)
+            else:
+                losses = [task.loss(ranking_batch,
+                                    ranking_batch.with_candidate(encoder, negatives[d]))
+                          for d in range(self.NUM_DRAWS)]
+                loss = sum(losses[1:], losses[0]) * (1.0 / self.NUM_DRAWS)
+            loss.backward()
+            gradients[fused] = [parameter.grad.copy() for parameter in task.parameters()]
+        for fused_grad, looped_grad in zip(gradients[True], gradients[False]):
+            np.testing.assert_allclose(fused_grad, looped_grad, atol=1e-10)
+
+    def test_fused_loss_rejects_bad_shapes(self, seqfm_config, ranking_batch, encoder, sampler):
+        task = SeqFMRanker(seqfm_config)
+        negatives = self._negatives(sampler, ranking_batch)
+        fused = ranking_batch.with_candidates(encoder, negatives)
+        with pytest.raises(ValueError):
+            task.fused_loss(fused, len(ranking_batch), self.NUM_DRAWS + 1)
+        with pytest.raises(ValueError):
+            task.fused_loss(fused, len(ranking_batch), 0)
+
+    def test_regression_has_no_fused_loss(self, seqfm_config, ranking_batch, encoder, sampler):
+        task = SeqFMRegressor(seqfm_config)
+        negatives = self._negatives(sampler, ranking_batch)
+        fused = ranking_batch.with_candidates(encoder, negatives)
+        with pytest.raises(NotImplementedError):
+            task.fused_loss(fused, len(ranking_batch), self.NUM_DRAWS)
+
+
+class TestTrainerStopping:
+    def test_fit_without_examples_raises(self, seqfm_config, encoder, sampler):
+        trainer = Trainer(SeqFMRanker(seqfm_config), encoder, sampler)
+        with pytest.raises(ValueError, match="no training examples"):
+            trainer.fit([])
+
+    def test_convergence_records_reason(self, seqfm_config, encoder, split, sampler):
+        examples = encoder.encode_training_instances(split.train)
+        trainer = Trainer(SeqFMRanker(seqfm_config), encoder, sampler,
+                          TrainerConfig(epochs=20, batch_size=8, learning_rate=1e-9,
+                                        convergence_tolerance=0.5))
+        result = trainer.fit(examples)
+        assert result.stop_reason == "converged"
+        assert result.epochs_run < 20
+
+    def test_max_epochs_records_reason(self, seqfm_config, encoder, split, sampler):
+        examples = encoder.encode_training_instances(split.train)
+        trainer = Trainer(SeqFMRanker(seqfm_config), encoder, sampler,
+                          TrainerConfig(epochs=2, batch_size=8,
+                                        convergence_tolerance=0.0))
+        result = trainer.fit(examples)
+        assert result.stop_reason == "max_epochs"
+        assert result.epochs_run == 2
+
+    def test_divergence_stops_training(self, rating_log):
+        """An exploding loss (huge learning rate) must stop the loop early."""
+        from repro.data.features import FeatureEncoder
+        split = leave_one_out_split(rating_log)
+        encoder = FeatureEncoder(rating_log, max_seq_len=5)
+        config = SeqFMConfig(
+            static_vocab_size=encoder.static_vocab_size,
+            dynamic_vocab_size=encoder.dynamic_vocab_size,
+            max_seq_len=5, embed_dim=8, dropout=0.0, seed=0,
+        )
+        task = SeqFMRegressor(config)
+        examples = encoder.encode_training_instances(split.train, use_ratings=True)
+        trainer = Trainer(task, encoder,
+                          config=TrainerConfig(epochs=50, batch_size=16, learning_rate=80.0,
+                                               convergence_tolerance=1e-4,
+                                               divergence_patience=3))
+        result = trainer.fit(examples)
+        assert result.stop_reason == "diverged"
+        assert result.epochs_run < 50
+
+    def test_plateau_noise_is_not_divergence(self, seqfm_config, encoder, split,
+                                             sampler, monkeypatch):
+        """Small consecutive upticks (above the convergence tolerance but far
+        below the divergence tolerance) must not abort training."""
+        examples = encoder.encode_training_instances(split.train)
+        trainer = Trainer(SeqFMRanker(seqfm_config), encoder, sampler,
+                          TrainerConfig(epochs=8, batch_size=8,
+                                        convergence_tolerance=1e-4,
+                                        divergence_tolerance=0.05,
+                                        divergence_patience=3))
+        losses = iter([0.4000, 0.4002, 0.4004, 0.4006, 0.4008,
+                       0.4010, 0.4012, 0.4014])
+        monkeypatch.setattr(trainer, "_run_epoch", lambda iterator: next(losses))
+        result = trainer.fit(examples)
+        assert result.stop_reason == "max_epochs"
+        assert result.epochs_run == 8
+
+    def test_zero_loss_does_not_disable_convergence_check(self, seqfm_config, encoder,
+                                                          split, sampler, monkeypatch):
+        """Regression: a zero epoch loss used to silently skip the check forever."""
+        examples = encoder.encode_training_instances(split.train)
+        trainer = Trainer(SeqFMRanker(seqfm_config), encoder, sampler,
+                          TrainerConfig(epochs=10, batch_size=8,
+                                        convergence_tolerance=1e-4))
+        losses = iter([1.0, 0.0, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5])
+        monkeypatch.setattr(trainer, "_run_epoch", lambda iterator: next(losses))
+        result = trainer.fit(examples)
+        # previous_loss == 0 skips one comparison but 0.5 -> 0.5 must converge.
+        assert result.stop_reason == "converged"
+        assert result.epochs_run == 4
+
+
 class TestGridSearch:
     def test_finds_best_combination(self):
         def evaluate(params):

@@ -209,3 +209,73 @@ class TestBatchIterator:
             BatchIterator(examples, batch_size=0)
         with pytest.raises(ValueError):
             BatchIterator([], batch_size=4)
+
+    def test_collation_cache_matches_from_examples(self, tiny_log, encoder, split):
+        """Cached-reindex batches must be bit-identical to per-batch collation."""
+        examples = encoder.encode_training_instances(split.train)
+        iterator = BatchIterator(examples, batch_size=4, shuffle=True, seed=7)
+        reference_order = np.arange(len(examples))
+        np.random.default_rng(7).shuffle(reference_order)
+        for start, batch in zip(range(0, len(examples), 4), iterator):
+            chunk = reference_order[start:start + 4]
+            reference = FeatureBatch.from_examples([examples[i] for i in chunk])
+            np.testing.assert_array_equal(batch.static_indices, reference.static_indices)
+            np.testing.assert_array_equal(batch.dynamic_indices, reference.dynamic_indices)
+            np.testing.assert_array_equal(batch.dynamic_mask, reference.dynamic_mask)
+            np.testing.assert_array_equal(batch.labels, reference.labels)
+            np.testing.assert_array_equal(batch.user_ids, reference.user_ids)
+            np.testing.assert_array_equal(batch.object_ids, reference.object_ids)
+
+    def test_batches_are_independent_copies(self, tiny_log, encoder, split):
+        """Mutating a yielded batch must not corrupt the collation cache."""
+        examples = encoder.encode_training_instances(split.train)
+        iterator = BatchIterator(examples, batch_size=4, shuffle=False)
+        first = next(iter(iterator))
+        first.static_indices[...] = -1
+        clean = next(iter(iterator))
+        assert not np.any(clean.static_indices == -1)
+
+
+class TestWithCandidates:
+    @pytest.fixture
+    def batch(self, tiny_log, encoder, split):
+        examples = encoder.encode_training_instances(split.train)
+        return FeatureBatch.from_examples(examples[:6])
+
+    def test_fused_layout(self, batch, encoder):
+        negatives = np.stack([np.roll(batch.object_ids, shift + 1) for shift in range(3)])
+        fused = batch.with_candidates(encoder, negatives)
+        assert len(fused) == len(batch) * 4
+        assert fused.dynamic_tile == 4
+        # Positives first, untouched.
+        np.testing.assert_array_equal(fused.object_ids[:len(batch)], batch.object_ids)
+        np.testing.assert_array_equal(fused.labels[:len(batch)], batch.labels)
+        # Draw-major negative blocks with zero labels and swapped candidates.
+        for draw in range(3):
+            block = slice(len(batch) * (1 + draw), len(batch) * (2 + draw))
+            np.testing.assert_array_equal(fused.object_ids[block], negatives[draw])
+            np.testing.assert_array_equal(fused.labels[block], np.zeros(len(batch)))
+            np.testing.assert_array_equal(
+                fused.static_indices[block, encoder.candidate_slot],
+                encoder.static_object_index(negatives[draw]),
+            )
+            # Histories and users repeat per group.
+            np.testing.assert_array_equal(fused.dynamic_indices[block], batch.dynamic_indices)
+            np.testing.assert_array_equal(fused.dynamic_mask[block], batch.dynamic_mask)
+            np.testing.assert_array_equal(fused.user_ids[block], batch.user_ids)
+
+    def test_matches_stacked_with_candidate(self, batch, encoder):
+        """The fused batch equals [batch; with_candidate(draw)...] stacked."""
+        negatives = np.stack([np.roll(batch.object_ids, 1), np.roll(batch.object_ids, 2)])
+        fused = batch.with_candidates(encoder, negatives)
+        singles = [batch.with_candidate(encoder, negatives[d]) for d in range(2)]
+        np.testing.assert_array_equal(
+            fused.static_indices,
+            np.concatenate([batch.static_indices] + [s.static_indices for s in singles]),
+        )
+
+    def test_rejects_wrong_shape(self, batch, encoder):
+        with pytest.raises(ValueError):
+            batch.with_candidates(encoder, batch.object_ids)  # 1-D
+        with pytest.raises(ValueError):
+            batch.with_candidates(encoder, np.stack([batch.object_ids[:-1]]))

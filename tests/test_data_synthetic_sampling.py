@@ -150,6 +150,45 @@ class TestNegativeSampler:
         assert negatives.shape == (3,)
         assert not np.any(negatives == positives) or len(set(range(10, 30)) - tiny_log.objects) == 0
 
+    def test_sample_batch_never_returns_seen_objects(self, tiny_log):
+        """The vectorised rejection sampler must respect every seen set."""
+        sampler = NegativeSampler(tiny_log, objects=range(10, 30), seed=0)
+        user_ids = np.tile(np.array(sorted(tiny_log.users)), 50)
+        positives = np.tile(np.array([10, 11, 12, 13]), 50)
+        negatives = sampler.sample_batch(user_ids, positives)
+        assert not np.any(negatives == positives)
+        for user_id, negative in zip(user_ids, negatives):
+            assert int(negative) not in sampler.seen(int(user_id))
+
+    def test_sample_batch_dense_user_falls_back_to_exact(self):
+        """A user who has seen all but one object still gets that object."""
+        from repro.data.interactions import Interaction, InteractionLog
+        log = InteractionLog()
+        for object_id in range(9):  # user 0 saw objects 0..8 of universe 0..9
+            log.append(Interaction(0, object_id, float(object_id)))
+        sampler = NegativeSampler(log, objects=range(10), seed=0)
+        negatives = sampler.sample_batch(np.zeros(20, dtype=np.int64),
+                                         np.zeros(20, dtype=np.int64))
+        assert set(negatives.tolist()) == {9}
+
+    def test_sample_batch_sees_mark_seen_updates(self, tiny_log):
+        """mark_seen after the first draw must invalidate the seen index."""
+        sampler = NegativeSampler(tiny_log, objects=range(10, 30), seed=0)
+        sampler.sample_batch(np.array([0]), np.array([10]))  # build the index
+        for object_id in range(16, 26):
+            sampler.mark_seen(0, object_id)  # user 0 now saw 10..25; 26..29 remain
+        negatives = sampler.sample_batch(np.zeros(100, dtype=np.int64),
+                                         np.full(100, 10, dtype=np.int64))
+        assert set(negatives.tolist()) <= {26, 27, 28, 29}
+
+    def test_sample_batch_unknown_user_draws_freely(self, tiny_log):
+        sampler = NegativeSampler(tiny_log, objects=range(10, 30), seed=0)
+        negatives = sampler.sample_batch(np.full(40, 999, dtype=np.int64),
+                                         np.full(40, 10, dtype=np.int64))
+        assert negatives.shape == (40,)
+        assert not np.any(negatives == 10)
+        assert np.all((negatives >= 10) & (negatives < 30))
+
     def test_evaluation_candidates_structure(self, tiny_log):
         sampler = NegativeSampler(tiny_log, objects=range(10, 40), seed=0)
         candidates = sampler.evaluation_candidates(0, ground_truth=12, num_negatives=5)

@@ -55,6 +55,8 @@ class TestSGD:
             SGD([Parameter(np.zeros(1))], lr=-1.0)
         with pytest.raises(ValueError):
             SGD([Parameter(np.zeros(1))], lr=0.1, momentum=1.5)
+        with pytest.raises(ValueError, match="weight_decay"):
+            SGD([Parameter(np.zeros(1))], lr=0.1, weight_decay=-0.1)
 
     def test_skips_parameters_without_grad(self):
         parameter = Parameter(np.array([1.0]))
@@ -85,6 +87,14 @@ class TestAdam:
     def test_invalid_betas(self):
         with pytest.raises(ValueError):
             Adam([Parameter(np.zeros(1))], lr=0.1, betas=(1.0, 0.999))
+
+    def test_invalid_eps_and_weight_decay(self):
+        with pytest.raises(ValueError, match="eps"):
+            Adam([Parameter(np.zeros(1))], lr=0.1, eps=0.0)
+        with pytest.raises(ValueError, match="eps"):
+            Adam([Parameter(np.zeros(1))], lr=0.1, eps=-1e-8)
+        with pytest.raises(ValueError, match="weight_decay"):
+            Adam([Parameter(np.zeros(1))], lr=0.1, weight_decay=-0.01)
 
     def test_weight_decay_applied(self):
         parameter = Parameter(np.array([5.0]))

@@ -203,6 +203,44 @@ class TestLRUCache:
         with pytest.raises(ValueError):
             LRUCache(capacity=0)
 
+    def test_hit_rate_of_empty_cache_is_zero(self):
+        assert LRUCache(capacity=4).stats.hit_rate == 0.0
+
+    def test_overwrite_at_capacity_does_not_evict(self):
+        """Updating the key that fills the cache must not count an eviction."""
+        cache = LRUCache(capacity=1)
+        cache.put("a", 1)
+        cache.put("a", 2)
+        cache.put("a", 3)
+        assert len(cache) == 1 and cache.stats.evictions == 0
+        assert cache.get("a") == 3
+
+    def test_overwrite_refreshes_recency(self):
+        cache = LRUCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)       # "a" becomes MRU
+        cache.put("c", 3)        # evicts "b", not "a"
+        assert "a" in cache and "b" not in cache and "c" in cache
+        assert cache.stats.evictions == 1
+
+    def test_pop_and_clear_leave_stats_untouched(self):
+        cache = LRUCache(capacity=2)
+        cache.put("a", 1)
+        assert cache.pop("a") == 1
+        assert cache.pop("a") is None      # popping a missing key is not a miss
+        cache.put("b", 2)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.requests == 0 and cache.stats.evictions == 0
+
+    def test_capacity_one_churn_counts_every_eviction(self):
+        cache = LRUCache(capacity=1)
+        for index in range(5):
+            cache.put(index, index)
+        assert cache.stats.evictions == 4
+        assert cache.keys() == [4]
+
 
 class TestUserSequenceStore:
     def test_hit_on_repeat_history(self):
