@@ -4,14 +4,14 @@
 PYTHON ?= python
 export PYTHONPATH := $(CURDIR)/src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-train docs-check all
+.PHONY: test bench bench-train bench-rank docs-check all
 
 # Tier-1 test suite (the acceptance gate for every PR).
 test:
 	$(PYTHON) -m pytest -x -q
 
 # Benchmark suite: regenerates the paper's tables/figures and the serving
-# throughput report into results/*.txt.
+# throughput reports into results/*.txt (includes bench-train and bench-rank).
 bench:
 	$(PYTHON) -m pytest benchmarks/ -q
 
@@ -19,6 +19,11 @@ bench:
 # (writes results/training_throughput.txt).
 bench-train:
 	$(PYTHON) -m pytest benchmarks/test_training_throughput.py -q
+
+# Candidate-ranking benchmark only: naive per-candidate scoring vs the
+# rank_candidates fast path (writes results/ranking_throughput.txt).
+bench-rank:
+	$(PYTHON) -m pytest benchmarks/test_ranking_throughput.py -q
 
 # Fail if the README's code blocks have drifted from the public API: extracts
 # and executes every ```python fence in README.md.

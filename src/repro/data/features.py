@@ -124,6 +124,51 @@ class FeatureBatch:
             object_ids=np.array([example.object_id for example in examples], dtype=np.int64),
         )
 
+    @staticmethod
+    def for_candidates(
+        static_profile: np.ndarray,
+        candidate_indices: np.ndarray,
+        dynamic_indices: np.ndarray,
+        dynamic_mask: np.ndarray,
+        candidate_slot: int = 1,
+        user_id: int = -1,
+    ) -> "FeatureBatch":
+        """Expand one user into a C-row batch, one row per candidate.
+
+        ``static_profile`` is a single static index row whose
+        ``candidate_slot`` entry is replaced by each of the
+        ``candidate_indices`` (static-vocabulary); ``dynamic_indices``/
+        ``dynamic_mask`` are the user's single padded history row, shared by
+        every candidate.  This is the *naive* materialisation of a ranking
+        request — C independent rows — used as the reference the serving fast
+        path (:meth:`repro.serving.engine.InferenceEngine.rank_candidates`)
+        must agree with; the returned batch carries ``dynamic_tile = C`` so
+        model-level consumers can still dedup the shared history.
+        """
+        profile = np.asarray(static_profile, dtype=np.int64).reshape(-1)
+        candidates = np.asarray(candidate_indices, dtype=np.int64).reshape(-1)
+        if candidates.size == 0:
+            raise ValueError("cannot build a candidate batch from zero candidates")
+        if not (0 <= candidate_slot < profile.shape[0]):
+            raise ValueError(
+                f"candidate_slot {candidate_slot} outside the static profile "
+                f"of {profile.shape[0]} features"
+            )
+        count = candidates.shape[0]
+        static = np.tile(profile, (count, 1))
+        static[:, candidate_slot] = candidates
+        dynamic = np.asarray(dynamic_indices, dtype=np.int64).reshape(1, -1)
+        mask = np.asarray(dynamic_mask, dtype=np.float64).reshape(1, -1)
+        return FeatureBatch(
+            static_indices=static,
+            dynamic_indices=np.tile(dynamic, (count, 1)),
+            dynamic_mask=np.tile(mask, (count, 1)),
+            labels=np.zeros(count, dtype=np.float64),
+            user_ids=np.full(count, user_id, dtype=np.int64),
+            object_ids=candidates.copy(),
+            dynamic_tile=count,
+        )
+
     def with_candidate(self, encoder: "FeatureEncoder", object_ids: np.ndarray) -> "FeatureBatch":
         """Return a copy of the batch with the candidate object replaced.
 
@@ -297,6 +342,53 @@ class FeatureEncoder:
             user_id=user_id,
             object_id=candidate_object_id,
         )
+
+    def encode_candidates(
+        self,
+        user_id: int,
+        candidate_object_ids: Sequence[int],
+        history: Sequence[Interaction],
+    ) -> Tuple[np.ndarray, np.ndarray, List[int]]:
+        """Encode one ranking request: C candidates sharing a user + history.
+
+        Returns ``(static_profile, candidate_indices, dynamic_history)``:
+
+        * ``static_profile`` — one static index row (user feature filled in,
+          candidate slot holding the first candidate as a placeholder);
+        * ``candidate_indices`` — the static-vocabulary index of every
+          candidate object, in input order;
+        * ``dynamic_history`` — the raw (unpadded) dynamic-vocabulary indices
+          of the most recent ``max_seq_len`` *known* history events.  Events
+          whose object is outside the training vocabulary are dropped first
+          (the same pre-filtering :meth:`encode_heldout` applies), so older
+          known events may backfill the visible window.
+
+        The triple feeds the serving ranking fast path —
+        ``InferenceEngine.rank_candidates`` / ``ModelRegistry.rank_topk`` —
+        or materialises into the naive per-candidate batch via
+        :meth:`FeatureBatch.for_candidates`.
+        """
+        if user_id not in self._user_to_index:
+            raise KeyError(f"unknown user {user_id}")
+        candidate_object_ids = list(candidate_object_ids)
+        if not candidate_object_ids:
+            raise ValueError("need at least one candidate object")
+        unknown = [obj for obj in candidate_object_ids if obj not in self._object_to_index]
+        if unknown:
+            raise KeyError(f"unknown candidate objects {unknown[:5]}")
+        candidates = self.static_object_index(np.asarray(candidate_object_ids, dtype=np.int64))
+        static_profile = np.array(
+            [self._user_to_index[user_id], candidates[0]], dtype=np.int64
+        )
+        known_objects = [
+            event.object_id for event in history
+            if event.object_id in self._object_to_index
+        ]
+        dynamic_history = [
+            int(index)
+            for index in self.dynamic_object_index(np.asarray(known_objects, dtype=np.int64))
+        ]
+        return static_profile, candidates, dynamic_history[-self.max_seq_len:]
 
     def encode_training_instances(
         self,

@@ -21,6 +21,11 @@ Serve a trained checkpoint (see :mod:`repro.serving`)::
     python -m repro.experiments.cli predict-batch \
         --checkpoint ckpt.npz --requests requests.json --head classify
     python -m repro.experiments.cli serve --checkpoint ckpt.npz < requests.jsonl
+
+Rank candidate lists through the candidate-deduplicated fast path::
+
+    python -m repro.experiments.cli rank-topk \
+        --checkpoint ckpt.npz --requests ranking.json --k 10
 """
 
 from __future__ import annotations
@@ -48,7 +53,7 @@ EXPERIMENTS = ("table1", "table2", "table3", "table4", "table5", "figure3", "fig
 
 #: Serving subcommands, dispatched before the experiment parser (they take a
 #: different option set than the table/figure runners).
-SERVING_COMMANDS = ("serve", "predict-batch")
+SERVING_COMMANDS = ("serve", "predict-batch", "rank-topk")
 
 #: Training subcommand, likewise dispatched before the experiment parser.
 TRAIN_COMMAND = "train"
@@ -59,7 +64,7 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-experiments",
         description="Regenerate the tables and figures of the SeqFM paper (ICDE 2020).",
         epilog="Training/serving subcommands (separate option sets): "
-               "'train', 'serve' and 'predict-batch' — run e.g. "
+               "'train', 'serve', 'predict-batch' and 'rank-topk' — run e.g. "
                "'python -m repro.experiments.cli train --help'.",
     )
     parser.add_argument("experiment", choices=EXPERIMENTS + ("all",),
@@ -242,14 +247,21 @@ def build_serving_parser(command: str) -> argparse.ArgumentParser:
     )
     parser.add_argument("--checkpoint", type=Path, required=True,
                         help="SeqFM checkpoint written by repro.core.serialization.save_seqfm")
-    parser.add_argument("--head", default="score",
-                        choices=("score", "rank", "classify", "regress"),
-                        help="task endpoint to evaluate (default: raw scores)")
+    if command != "rank-topk":  # rank-topk *is* a head; no head to choose
+        head_choices = ("score", "rank", "classify", "regress")
+        if command == "serve":
+            head_choices += ("rank-topk",)
+        parser.add_argument("--head", default="score", choices=head_choices,
+                            help="task endpoint to evaluate (default: raw scores)")
     parser.add_argument("--max-batch-size", type=int, default=256,
                         help="micro-batcher flush threshold (default: 256)")
     parser.add_argument("--cache-capacity", type=int, default=4096,
                         help="user-sequence LRU capacity (default: 4096)")
-    if command == "predict-batch":
+    if command in ("serve", "rank-topk"):
+        parser.add_argument("--k", type=int, default=None,
+                            help="default top-K cut for ranking requests without "
+                                 "their own 'k' (default: rank every candidate)")
+    if command in ("predict-batch", "rank-topk"):
         parser.add_argument("--requests", type=Path, required=True,
                             help="JSON file holding a list of request objects")
         parser.add_argument("--output", type=Path, default=None,
@@ -260,7 +272,7 @@ def build_serving_parser(command: str) -> argparse.ArgumentParser:
 def run_serving(command: str, argv: List[str]) -> int:
     """Execute a serving subcommand; returns a process exit code."""
     from repro.serving import ModelRegistry
-    from repro.serving.service import predict_batch, serve_jsonl
+    from repro.serving.service import predict_batch, rank_topk_batch, serve_jsonl
 
     args = build_serving_parser(command).parse_args(argv)
     if not args.checkpoint.exists():
@@ -273,7 +285,7 @@ def run_serving(command: str, argv: List[str]) -> int:
         print(f"error: cannot load {args.checkpoint}: {error}", file=sys.stderr)
         return 2
 
-    if command == "predict-batch":
+    if command in ("predict-batch", "rank-topk"):
         try:
             payloads = json.loads(args.requests.read_text())
         except (OSError, ValueError) as error:
@@ -284,8 +296,17 @@ def run_serving(command: str, argv: List[str]) -> int:
                   file=sys.stderr)
             return 2
         try:
-            response = predict_batch(registry, "default", payloads, head=args.head,
-                                     max_batch_size=args.max_batch_size)
+            if command == "rank-topk":
+                response = rank_topk_batch(registry, "default", payloads, k=args.k,
+                                           max_batch_size=args.max_batch_size)
+                summary = (f"ranked {response['stats']['candidates_ranked']} candidates "
+                           f"across {response['stats']['requests']} requests "
+                           f"(cache hit rate "
+                           f"{registry.get('default').sequence_store.stats.hit_rate:.2f})")
+            else:
+                response = predict_batch(registry, "default", payloads, head=args.head,
+                                         max_batch_size=args.max_batch_size)
+                summary = f"{len(response['scores'])} scores"
         except (ValueError, KeyError, TypeError, IndexError) as error:
             print(f"error: {error}", file=sys.stderr)
             return 2
@@ -293,18 +314,23 @@ def run_serving(command: str, argv: List[str]) -> int:
         if args.output:
             args.output.parent.mkdir(parents=True, exist_ok=True)
             args.output.write_text(rendered + "\n")
-            print(f"wrote {args.output} ({len(response['scores'])} scores)")
+            print(f"wrote {args.output} ({summary})")
         else:
             print(rendered)
+            if command == "rank-topk":
+                print(summary, file=sys.stderr)
         return 0
 
     try:
         total = serve_jsonl(registry, "default", sys.stdin, sys.stdout,
-                            head=args.head, max_batch_size=args.max_batch_size)
+                            head=args.head, max_batch_size=args.max_batch_size,
+                            k=args.k)
     except (ValueError, KeyError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
-    print(f"served {total} requests", file=sys.stderr)
+    store_stats = registry.get("default").sequence_store.stats
+    print(f"served {total} requests (cache hit rate {store_stats.hit_rate:.2f})",
+          file=sys.stderr)
     return 0
 
 

@@ -16,7 +16,7 @@ Keep the two in lock-step: any change to the math in
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -60,6 +60,83 @@ def scaled_dot_product_attention(
     Mirrors :func:`repro.autograd.functional.scaled_dot_product_attention`.
     """
     return attention_weights(queries, keys, mask=mask) @ values
+
+
+def project_qkv(
+    features: np.ndarray,
+    w_query: np.ndarray,
+    w_key: np.ndarray,
+    w_value: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Project ``features`` into the query/key/value subspaces (Eq. 6).
+
+    The decomposed half of :func:`scaled_dot_product_attention`: callers that
+    attend many query sets against one shared feature matrix (candidate
+    ranking — C candidates, one history) project the shared rows **once** and
+    reuse the resulting K/V with :func:`attend_with_cached_kv` instead of
+    re-projecting them per candidate.
+    """
+    return features @ w_query, features @ w_key, features @ w_value
+
+
+def attend_with_cached_kv(
+    queries: np.ndarray,
+    cached_keys: np.ndarray,
+    cached_values: np.ndarray,
+    mask: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Attention against pre-projected (cached) keys/values.
+
+    Identical math to :func:`scaled_dot_product_attention` — the split into
+    :func:`project_qkv` + this function only changes *when* the projections
+    happen, never what is computed, so fast-path output stays within parity
+    tolerance of the fused kernel.  ``queries``/``cached_keys``/
+    ``cached_values`` broadcast over leading batch axes, so one user's cached
+    ``(n, d)`` history K/V can serve a ``(C, n, d)`` candidate batch.
+    """
+    return attention_weights(queries, cached_keys, mask=mask) @ cached_values
+
+
+def top_k(
+    scores: np.ndarray, k: int, mask: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """Indices of the ``k`` largest entries of a 1-D score vector, best first.
+
+    A partial sort via :func:`np.argpartition` — O(C + k log k) instead of the
+    O(C log C) full ``argsort`` — for the serving-side top-K cut of a ranked
+    candidate list.  ``mask`` (1.0 = eligible) excludes candidates from the
+    result entirely; fewer than ``k`` eligible entries shrink the result
+    rather than padding it.  Ties break toward the lower index, matching
+    ``np.argsort(-scores, kind="stable")``.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    if scores.ndim != 1:
+        raise ValueError(f"scores must be 1-D, got shape {scores.shape}")
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    eligible = np.arange(scores.shape[0])
+    if mask is not None:
+        mask = np.asarray(mask, dtype=np.float64)
+        if mask.shape != scores.shape:
+            raise ValueError("mask must match the scores shape")
+        eligible = eligible[mask > 0]
+        scores = scores[mask > 0]
+    if eligible.size == 0:
+        return np.empty(0, dtype=np.int64)
+    k = min(k, eligible.size)
+    if k < eligible.size:
+        # argpartition alone is not tie-stable at the selection boundary, so
+        # take everything strictly above the k-th largest value and fill the
+        # remaining slots with the lowest-index entries tied at that value.
+        boundary = scores[np.argpartition(-scores, k - 1)[k - 1]]
+        above = np.flatnonzero(scores > boundary)
+        tied = np.flatnonzero(scores == boundary)[: k - above.size]
+        chosen = np.concatenate([above, tied])
+    else:
+        chosen = np.arange(eligible.size)
+    # Order the k survivors by (-score, index): best first, stable on ties.
+    order = np.lexsort((eligible[chosen], -scores[chosen]))
+    return eligible[chosen[order]].astype(np.int64)
 
 
 def layer_norm(

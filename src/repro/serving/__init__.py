@@ -14,8 +14,15 @@ production-facing inference layer of the reproduction:
 * :class:`~repro.serving.cache.UserSequenceStore` — LRU cache of padded user
   histories with exact fingerprint checks, so repeat users skip re-encoding.
 * :class:`~repro.serving.registry.ModelRegistry` — named checkpoint-backed
-  models with ``rank`` / ``classify`` / ``regress`` endpoints mirroring the
-  task heads of :mod:`repro.core.tasks`.
+  models with ``rank`` / ``classify`` / ``regress`` / ``rank_topk``
+  endpoints mirroring the task heads of :mod:`repro.core.tasks`.
+
+The engine additionally exposes the **candidate ranking fast path**
+(:meth:`~repro.serving.engine.InferenceEngine.rank_candidates`): C candidates
+sharing one user history are scored with every candidate-independent quantity
+— the dynamic view, the dynamic linear sum, the cross-view history
+projections — computed once per user (:class:`~repro.serving.engine.RankingPlan`)
+instead of once per candidate, with 1e-10 parity to the per-candidate loop.
 
 Usage
 -----
@@ -49,11 +56,24 @@ the CLI exposes the same runtime as ``predict-batch`` and ``serve``
 subcommands of :mod:`repro.experiments.cli`.
 """
 
-from repro.serving.batcher import BatcherStats, MicroBatcher, PendingScore, ScoreRequest
+from repro.serving.batcher import (
+    BatcherStats,
+    MicroBatcher,
+    PendingScore,
+    RankedCandidates,
+    RankRequest,
+    ScoreRequest,
+)
 from repro.serving.cache import CacheStats, LRUCache, UserSequenceStore
-from repro.serving.engine import InferenceEngine
+from repro.serving.engine import InferenceEngine, RankingPlan
 from repro.serving.registry import ModelRegistry, RegisteredModel
-from repro.serving.service import parse_request, predict_batch, serve_jsonl
+from repro.serving.service import (
+    parse_rank_request,
+    parse_request,
+    predict_batch,
+    rank_topk_batch,
+    serve_jsonl,
+)
 
 __all__ = [
     "BatcherStats",
@@ -63,10 +83,15 @@ __all__ = [
     "MicroBatcher",
     "ModelRegistry",
     "PendingScore",
+    "RankedCandidates",
+    "RankingPlan",
+    "RankRequest",
     "RegisteredModel",
     "ScoreRequest",
     "UserSequenceStore",
+    "parse_rank_request",
     "parse_request",
     "predict_batch",
+    "rank_topk_batch",
     "serve_jsonl",
 ]

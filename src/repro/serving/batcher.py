@@ -28,6 +28,49 @@ from repro.serving.cache import UserSequenceStore
 #: Type of the scoring callable the batcher drives: FeatureBatch → (batch,) scores.
 ScoreFn = Callable[[FeatureBatch], np.ndarray]
 
+#: Type of the ranking callable the rank head drives — the signature of
+#: :meth:`repro.serving.engine.InferenceEngine.rank_topk`:
+#: (static_profile, candidates, k, history, history_mask) → (top ids, scores).
+RankFn = Callable[..., "tuple[np.ndarray, np.ndarray]"]
+
+
+@dataclass(frozen=True)
+class RankRequest:
+    """One ranking request: C candidate objects sharing a user and history.
+
+    Attributes
+    ----------
+    static_indices:
+        The user's static profile row (model vocabulary); the candidate slot
+        holds a placeholder that is replaced by each candidate.
+    candidates:
+        Static-vocabulary indices of the candidate objects to rank.
+    history:
+        Chronological dynamic-vocabulary indices of the user's past events
+        (most recent last, not padded).
+    user_id:
+        Raw user identifier; enables the user-sequence cache when ≥ 0.
+    k:
+        Per-request top-K cut; ``None`` returns every candidate ranked.
+    """
+
+    static_indices: Sequence[int]
+    candidates: Sequence[int]
+    history: Sequence[int] = ()
+    user_id: int = -1
+    k: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class RankedCandidates:
+    """Result of a :class:`RankRequest`: candidates and scores, best first."""
+
+    candidates: np.ndarray
+    scores: np.ndarray
+
+    def __len__(self) -> int:
+        return self.candidates.shape[0]
+
 
 @dataclass(frozen=True)
 class ScoreRequest:
@@ -120,6 +163,12 @@ class MicroBatcher:
     sequence_store:
         Optional :class:`UserSequenceStore`; requests with ``user_id ≥ 0``
         reuse cached history encodings across requests.
+    rank_fn:
+        Optional ranking callable — typically
+        :meth:`repro.serving.engine.InferenceEngine.rank_topk` — that powers
+        the **rank head** (:meth:`rank`/:meth:`rank_all`): whole candidate
+        lists evaluated through the candidate-deduplicated fast path instead
+        of one scoring row per candidate.
     """
 
     def __init__(
@@ -128,6 +177,7 @@ class MicroBatcher:
         max_batch_size: int = 256,
         max_seq_len: int = 20,
         sequence_store: Optional[UserSequenceStore] = None,
+        rank_fn: Optional[RankFn] = None,
     ):
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be positive")
@@ -139,6 +189,7 @@ class MicroBatcher:
                 f"({sequence_store.max_seq_len} != {max_seq_len})"
             )
         self.score_fn = score_fn
+        self.rank_fn = rank_fn
         self.max_batch_size = max_batch_size
         self.max_seq_len = max_seq_len
         self.sequence_store = sequence_store
@@ -208,6 +259,50 @@ class MicroBatcher:
         handles = [self._enqueue(request) for request in requests]
         self.flush()
         return np.array([handle.value for handle in handles], dtype=np.float64)
+
+    # ------------------------------------------------------------------ #
+    # Rank head
+    # ------------------------------------------------------------------ #
+    def rank(self, request: RankRequest, k: Optional[int] = None) -> RankedCandidates:
+        """Rank one request's candidate list through the fast path.
+
+        A ranking request is already a dense batch — C candidates against one
+        history — so unlike :meth:`submit` there is nothing to coalesce: the
+        request is evaluated immediately via ``rank_fn`` (one
+        ``rank_candidates`` pass, with the history encoded through the
+        sequence store when the request carries a ``user_id``).  ``k``
+        defaults to the request's own ``k``, then to the full candidate list.
+        """
+        if self.rank_fn is None:
+            raise RuntimeError("this batcher has no rank head (rank_fn not configured)")
+        candidates = np.asarray(list(request.candidates), dtype=np.int64)
+        self.stats.requests += 1
+        if candidates.size == 0:
+            return RankedCandidates(
+                candidates=np.empty(0, dtype=np.int64),
+                scores=np.empty(0, dtype=np.float64),
+            )
+        cut = k if k is not None else request.k
+        if cut is None:
+            cut = candidates.shape[0]
+        if self.sequence_store is not None and request.user_id >= 0:
+            indices, mask = self.sequence_store.encode(request.user_id, request.history)
+            top, scores = self.rank_fn(
+                request.static_indices, candidates, cut,
+                indices[None, :], mask[None, :],
+            )
+        else:
+            top, scores = self.rank_fn(request.static_indices, candidates, cut,
+                                       request.history)
+        self.stats.batches += 1
+        self.stats.rows_scored += candidates.shape[0]
+        return RankedCandidates(candidates=top, scores=scores)
+
+    def rank_all(
+        self, requests: Sequence[RankRequest], k: Optional[int] = None
+    ) -> List[RankedCandidates]:
+        """Rank many requests, results in request order."""
+        return [self.rank(request, k) for request in requests]
 
     # ------------------------------------------------------------------ #
     # Collation

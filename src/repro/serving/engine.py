@@ -18,16 +18,52 @@ picks up the new weights on the next call without being rebuilt.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.core.model import SeqFM
 from repro.core.views import cross_attention_mask, cross_valid_mask, dynamic_attention_mask
-from repro.data.features import FeatureBatch
+from repro.data.features import FeatureBatch, FeatureEncoder, pad_sequences
 from repro.nn import kernels
 from repro.nn.attention import SelfAttention
 from repro.nn.feedforward import ResidualFeedForward
+
+
+@dataclass
+class RankingPlan:
+    """Per-user workspace of the candidate-ranking fast path.
+
+    Everything in here depends only on the user — the static profile and the
+    interaction history — never on the candidate, so it is computed **once**
+    by :meth:`InferenceEngine.prepare_ranking` and reused across the C
+    candidate rows of :meth:`InferenceEngine.rank_candidates`:
+
+    * the padded history encoding and its dynamic linear-term sum;
+    * the dynamic view evaluated end to end (attention + pooling + FFN) —
+      the n˙²-cost block of the model;
+    * the cross-view Q/K/V projections of the history rows, the shared
+      history↔history score block, and the (candidate-independent) cross
+      attention mask.
+
+    A plan snapshots projections of the *current* weights; after a registry
+    hot-reload build a fresh plan (``rank_candidates`` without an explicit
+    ``plan`` argument always does).
+    """
+
+    static_profile: np.ndarray       # (n_static,) int64 template row
+    candidate_slot: int              # profile slot the candidate index replaces
+    dynamic_indices: np.ndarray      # (1, n) padded history
+    dynamic_mask: np.ndarray         # (1, n) validity mask
+    dynamic_linear_sum: float        # Σ w˙ over the valid history events
+    dynamic_refined: Optional[np.ndarray]   # (1, d) post-FFN dynamic view
+    cross_q_dyn: Optional[np.ndarray]       # (n, d) history queries
+    cross_k_dyn: Optional[np.ndarray]       # (n, d) history keys
+    cross_v_dyn: Optional[np.ndarray]       # (n, d) history values
+    cross_dyn_dyn_scores: Optional[np.ndarray]  # (n, n) scaled Q˙K˙ᵀ block
+    cross_mask: Optional[np.ndarray]        # (1, T, T) additive attention mask
+    cross_valid: Optional[np.ndarray]       # (1, T) combined validity mask
 
 
 class InferenceEngine:
@@ -66,16 +102,25 @@ class InferenceEngine:
     def _validate_indices(self, batch: FeatureBatch) -> None:
         # The autograd path validates inside Embedding.forward; the engine
         # indexes the weight arrays directly, so re-check here — a bad request
-        # must surface as a clean IndexError, not corrupt NumPy fancy-indexing.
-        for name, indices, vocab in (
-            ("static", batch.static_indices, self.config.static_vocab_size),
-            ("dynamic", batch.dynamic_indices, self.config.dynamic_vocab_size),
-        ):
-            if indices.size and (indices.min() < 0 or indices.max() >= vocab):
-                raise IndexError(
-                    f"{name} feature index out of range [0, {vocab}): "
-                    f"min={indices.min()}, max={indices.max()}"
-                )
+        # must surface as a clean TypeError/IndexError, not corrupt (or worse,
+        # silently succeed at) NumPy fancy-indexing.
+        self._check_index_array("static", batch.static_indices, self.config.static_vocab_size)
+        self._check_index_array("dynamic", batch.dynamic_indices, self.config.dynamic_vocab_size)
+
+    @staticmethod
+    def _check_index_array(name: str, indices: np.ndarray, vocab: int) -> None:
+        indices = np.asarray(indices)
+        if not np.issubdtype(indices.dtype, np.integer):
+            # float/bool arrays fancy-index weight tables without error (bool
+            # even changes meaning, selecting rows 0/1) — reject them outright.
+            raise TypeError(
+                f"{name} feature indices must have an integer dtype, got {indices.dtype}"
+            )
+        if indices.size and (indices.min() < 0 or indices.max() >= vocab):
+            raise IndexError(
+                f"{name} feature index out of range [0, {vocab}): "
+                f"min={indices.min()}, max={indices.max()}"
+            )
 
     def classify(self, batch: FeatureBatch) -> np.ndarray:
         """σ(ŷ) ∈ (0, 1) — parity with ``ClassificationTask.predict_probability``."""
@@ -84,6 +129,237 @@ class InferenceEngine:
     def regress(self, batch: FeatureBatch) -> np.ndarray:
         """Predicted ratings — the raw score, as in ``RegressionTask``."""
         return self.score(batch)
+
+    # ------------------------------------------------------------------ #
+    # Candidate ranking fast path
+    # ------------------------------------------------------------------ #
+    def prepare_ranking(
+        self,
+        static_profile: Sequence[int],
+        history: Sequence[int],
+        history_mask: Optional[np.ndarray] = None,
+        candidate_slot: int = FeatureEncoder.candidate_slot,
+    ) -> RankingPlan:
+        """Build the per-user workspace of :meth:`rank_candidates`.
+
+        ``static_profile`` is one row of static feature indices (the
+        candidate slot's value is a placeholder — it is replaced per
+        candidate).  ``history`` is the raw (unpadded) dynamic-vocabulary
+        event sequence unless ``history_mask`` is given, in which case it is
+        taken as an already padded length-n˙ row with its validity mask.
+
+        All candidate-independent work happens here, once: the dynamic
+        embeddings, the full dynamic view (attention + pooling + FFN), the
+        dynamic linear sum, and the cross-view Q/K/V projections of the
+        history rows plus their shared history↔history score block.
+        """
+        model = self._model
+        # asarray without a dtype so a float/bool input reaches the dtype
+        # check un-cast instead of being silently truncated to integers
+        profile = np.asarray(static_profile).reshape(-1)
+        self._check_index_array("static", profile, self.config.static_vocab_size)
+        profile = profile.astype(np.int64, copy=False)
+        if not (0 <= candidate_slot < profile.shape[0]):
+            raise ValueError(
+                f"candidate_slot {candidate_slot} outside the static profile "
+                f"of {profile.shape[0]} features"
+            )
+
+        if history_mask is None:
+            # Validate only the visible suffix — pad_sequences truncates to
+            # the last n˙ events, and the sequence-store path (which encodes
+            # before the engine sees indices) truncates the same way.
+            events = list(history)[-self.config.max_seq_len:]
+            if events:
+                self._check_index_array(
+                    "dynamic", np.asarray(events), self.config.dynamic_vocab_size
+                )
+            dynamic, mask = pad_sequences([events], self.config.max_seq_len)
+        else:
+            dynamic = np.asarray(history).reshape(1, -1)
+            self._check_index_array("dynamic", dynamic, self.config.dynamic_vocab_size)
+            dynamic = dynamic.astype(np.int64, copy=False)
+            mask = np.asarray(history_mask, dtype=np.float64).reshape(1, -1)
+            if dynamic.shape != mask.shape or dynamic.shape[1] != self.config.max_seq_len:
+                raise ValueError(
+                    "padded history and mask must both have shape "
+                    f"(1, {self.config.max_seq_len}), got {dynamic.shape} and {mask.shape}"
+                )
+
+        dynamic_linear_sum = float(
+            (model.dynamic_linear.data[dynamic] * mask).sum()
+        )
+
+        dynamic_refined: Optional[np.ndarray] = None
+        cross_q = cross_k = cross_v = cross_dd = cross_mask = cross_valid = None
+        needs_dynamic_embeddings = (
+            model.dynamic_view is not None or model.cross_view is not None
+        )
+        if needs_dynamic_embeddings:
+            dynamic_embedded = model.dynamic_embedding.weight.data[dynamic]  # (1, n, d)
+
+        if model.dynamic_view is not None:
+            pooled = self._dynamic_view(dynamic_embedded, mask)
+            view_index = 1 if model.static_view is not None else 0
+            dynamic_refined = self._apply_ffn(pooled, view_index)
+
+        if model.cross_view is not None:
+            attention = model.cross_view.attention
+            rows = dynamic_embedded[0]  # (n, d)
+            cross_q, cross_k, cross_v = kernels.project_qkv(
+                rows, attention.w_query.data, attention.w_key.data, attention.w_value.data
+            )
+            d = rows.shape[-1]
+            cross_dd = cross_q @ cross_k.T * (1.0 / np.sqrt(d))
+            cross_valid = cross_valid_mask(profile.shape[0], mask)
+            cross_mask = cross_attention_mask(
+                profile.shape[0],
+                dynamic.shape[1],
+                cross_valid,
+                full_attention=model.cross_view.full_attention,
+            )
+
+        return RankingPlan(
+            static_profile=profile,
+            candidate_slot=candidate_slot,
+            dynamic_indices=dynamic,
+            dynamic_mask=mask,
+            dynamic_linear_sum=dynamic_linear_sum,
+            dynamic_refined=dynamic_refined,
+            cross_q_dyn=cross_q,
+            cross_k_dyn=cross_k,
+            cross_v_dyn=cross_v,
+            cross_dyn_dyn_scores=cross_dd,
+            cross_mask=cross_mask,
+            cross_valid=cross_valid,
+        )
+
+    def rank_candidates(
+        self,
+        static_profile: Sequence[int],
+        candidate_indices: Sequence[int],
+        history: Sequence[int] = (),
+        history_mask: Optional[np.ndarray] = None,
+        plan: Optional[RankingPlan] = None,
+        candidate_slot: int = FeatureEncoder.candidate_slot,
+    ) -> np.ndarray:
+        """Score C candidates that share one user profile and history.
+
+        Parity-equivalent (1e-10) to scoring C single-row batches through
+        :meth:`score` with the candidate slot swapped per row, but every
+        candidate-independent quantity — the dynamic view, the dynamic linear
+        sum, the cross-view history projections — is computed once via
+        :class:`RankingPlan` and broadcast, leaving only the per-candidate
+        static work: the static-view attention over n° rows and the
+        cross-view projections/score blocks of the candidate's static rows.
+
+        Returns the raw scores, one per candidate, in candidate order.
+        """
+        if plan is None:
+            plan = self.prepare_ranking(
+                static_profile, history, history_mask, candidate_slot=candidate_slot
+            )
+        model = self._model
+        candidates = np.asarray(candidate_indices).reshape(-1)
+        if candidates.size == 0:
+            return np.empty(0, dtype=np.float64)
+        self._check_index_array("candidate", candidates, self.config.static_vocab_size)
+        candidates = candidates.astype(np.int64, copy=False)
+
+        num_candidates = candidates.shape[0]
+        static_full = np.tile(plan.static_profile, (num_candidates, 1))
+        static_full[:, plan.candidate_slot] = candidates
+
+        # --- Linear term: only the static sum is candidate-dependent -----
+        static_weights = model.static_linear.data[static_full].sum(axis=-1)
+        linear = model.global_bias.data + static_weights + plan.dynamic_linear_sum
+
+        # --- Interaction term --------------------------------------------
+        static_embedded = model.static_embedding.weight.data[static_full]  # (C, n°, d)
+        refined: List[np.ndarray] = []
+        view_index = 0
+        if model.static_view is not None:
+            attended = self._attend(model.static_view.attention, static_embedded, mask=None)
+            refined.append(self._apply_ffn(kernels.mean_pool(attended, axis=-2), view_index))
+            view_index += 1
+        if model.dynamic_view is not None:
+            refined.append(
+                np.broadcast_to(
+                    plan.dynamic_refined, (num_candidates, plan.dynamic_refined.shape[-1])
+                )
+            )
+            view_index += 1
+        if model.cross_view is not None:
+            pooled = self._cross_view_from_plan(static_embedded, plan)
+            refined.append(self._apply_ffn(pooled, view_index))
+
+        aggregated = np.concatenate(refined, axis=-1)
+        return linear + aggregated @ model.projection.data
+
+    def rank_topk(
+        self,
+        static_profile: Sequence[int],
+        candidate_indices: Sequence[int],
+        k: int,
+        history: Sequence[int] = (),
+        history_mask: Optional[np.ndarray] = None,
+        plan: Optional[RankingPlan] = None,
+        candidate_slot: int = FeatureEncoder.candidate_slot,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Top-k of :meth:`rank_candidates`: ``(candidate_indices, scores)``.
+
+        Both arrays are ordered best-first; the candidates are the *values*
+        from ``candidate_indices``, not positions.  Selection is the
+        :func:`repro.nn.kernels.top_k` partial sort.
+        """
+        candidates = np.asarray(candidate_indices).reshape(-1)
+        scores = self.rank_candidates(
+            static_profile, candidates, history, history_mask,
+            plan=plan, candidate_slot=candidate_slot,
+        )
+        order = kernels.top_k(scores, k)
+        return candidates[order].astype(np.int64, copy=False), scores[order]
+
+    def _cross_view_from_plan(
+        self, static_embedded: np.ndarray, plan: RankingPlan
+    ) -> np.ndarray:
+        """Cross-view pooled representation with the history K/V cached.
+
+        Assembles the (C, T, T) score matrix from four blocks — only the
+        blocks touching a static row involve per-candidate work; the
+        history↔history block comes precomputed from the plan — then runs the
+        exact softmax → weighted-values → masked-pool sequence of
+        :meth:`_cross_view`.
+        """
+        attention = self._model.cross_view.attention
+        num_candidates, num_static, d = static_embedded.shape
+        seq_len = plan.cross_k_dyn.shape[0]
+        scale = 1.0 / np.sqrt(d)
+
+        q_static, k_static, v_static = kernels.project_qkv(
+            static_embedded,
+            attention.w_query.data, attention.w_key.data, attention.w_value.data,
+        )  # each (C, n°, d)
+
+        total = num_static + seq_len
+        scores = np.empty((num_candidates, total, total), dtype=np.float64)
+        scores[:, :num_static, :num_static] = (
+            q_static @ np.swapaxes(k_static, -1, -2) * scale
+        )
+        scores[:, :num_static, num_static:] = q_static @ plan.cross_k_dyn.T * scale
+        scores[:, num_static:, :num_static] = (
+            plan.cross_q_dyn[None] @ np.swapaxes(k_static, -1, -2) * scale
+        )
+        scores[:, num_static:, num_static:] = plan.cross_dyn_dyn_scores
+
+        weights = kernels.softmax(scores + plan.cross_mask)
+        # Blocked weighted sum: the history V rows stay one shared (n, d)
+        # operand instead of being copied out to every candidate row.
+        attended = (
+            weights[:, :, :num_static] @ v_static
+            + weights[:, :, num_static:] @ plan.cross_v_dyn
+        )
+        return kernels.masked_mean_pool(attended, plan.cross_valid, axis=-2)
 
     # ------------------------------------------------------------------ #
     # Forward components (mirror SeqFM._linear_term/_interaction_term)
@@ -120,10 +396,10 @@ class InferenceEngine:
     def _attend(
         self, attention: SelfAttention, features: np.ndarray, mask: Optional[np.ndarray]
     ) -> np.ndarray:
-        queries = features @ attention.w_query.data
-        keys = features @ attention.w_key.data
-        values = features @ attention.w_value.data
-        return kernels.scaled_dot_product_attention(queries, keys, values, mask=mask)
+        queries, keys, values = kernels.project_qkv(
+            features, attention.w_query.data, attention.w_key.data, attention.w_value.data
+        )
+        return kernels.attend_with_cached_kv(queries, keys, values, mask=mask)
 
     def _dynamic_view(self, dynamic_embedded: np.ndarray, valid_mask: np.ndarray) -> np.ndarray:
         view = self._model.dynamic_view

@@ -12,7 +12,10 @@ mirroring the task heads in :mod:`repro.core.tasks`:
 * :meth:`ModelRegistry.classify` — sigmoid click probabilities
   (:meth:`~repro.core.tasks.ClassificationTask.predict_probability`);
 * :meth:`ModelRegistry.regress` — predicted ratings
-  (:class:`~repro.core.tasks.RegressionTask` predictions).
+  (:class:`~repro.core.tasks.RegressionTask` predictions);
+* :meth:`ModelRegistry.rank_topk` — top-K over a candidate list through the
+  candidate-deduplicated ranking fast path
+  (:meth:`~repro.serving.engine.InferenceEngine.rank_candidates`).
 
 Reloading a checkpoint into an existing name swaps the weights in place; the
 engine reads parameters by reference, so in-flight handles keep working.
@@ -22,14 +25,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.core.model import SeqFM
 from repro.core.serialization import load_seqfm, save_seqfm
 from repro.data.features import FeatureBatch
-from repro.serving.batcher import MicroBatcher, ScoreRequest
+from repro.serving.batcher import MicroBatcher, RankedCandidates, RankRequest, ScoreRequest
 from repro.serving.cache import UserSequenceStore
 from repro.serving.engine import InferenceEngine
 
@@ -47,20 +50,31 @@ class RegisteredModel:
     source: Optional[Path] = None
 
     def batcher(self, max_batch_size: int = 256, head: str = "score") -> MicroBatcher:
-        """Build a micro-batcher bound to one of the engine's endpoints."""
+        """Build a micro-batcher bound to one of the engine's endpoints.
+
+        Every batcher also carries the engine's **rank head**
+        (``MicroBatcher.rank``/``rank_all``): whole candidate lists evaluated
+        through the candidate-deduplicated ranking fast path
+        (:meth:`~repro.serving.engine.InferenceEngine.rank_candidates`),
+        sharing this model's user-sequence store with the scoring heads.
+        """
         score_fn = {
             "score": self.engine.score,
             "rank": self.engine.score,
+            "rank-topk": self.engine.score,
             "classify": self.engine.classify,
             "regress": self.engine.regress,
         }.get(head)
         if score_fn is None:
-            raise ValueError(f"unknown head {head!r}; expected score/rank/classify/regress")
+            raise ValueError(
+                f"unknown head {head!r}; expected score/rank/rank-topk/classify/regress"
+            )
         return MicroBatcher(
             score_fn,
             max_batch_size=max_batch_size,
             max_seq_len=self.model.config.max_seq_len,
             sequence_store=self.sequence_store,
+            rank_fn=self.engine.rank_topk,
         )
 
 
@@ -155,3 +169,28 @@ class ModelRegistry:
     ) -> np.ndarray:
         """Micro-batched raw scores for a list of requests, in request order."""
         return self.get(name).batcher(max_batch_size, head="score").score_all(requests)
+
+    def rank_topk(
+        self,
+        name: str,
+        static_profile: Sequence[int],
+        candidates: Sequence[int],
+        k: int,
+        history: Sequence[int] = (),
+        user_id: int = -1,
+    ) -> RankedCandidates:
+        """Top-k candidates for one user through the ranking fast path.
+
+        ``static_profile``/``candidates``/``history`` are model-vocabulary
+        indices (the mapping from raw ids is
+        :meth:`repro.data.features.FeatureEncoder.encode_candidates`).  The
+        user's history encoding is cached in the model's sequence store when
+        ``user_id ≥ 0``.  Returns candidates and raw scores, best first.
+        """
+        request = RankRequest(
+            static_indices=static_profile,
+            candidates=candidates,
+            history=history,
+            user_id=user_id,
+        )
+        return self.get(name).batcher(head="rank").rank(request, k)

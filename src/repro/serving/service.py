@@ -16,21 +16,32 @@ Request objects use the wire format::
     {"static_indices": [4, 17], "history": [3, 7, 12],
      "user_id": 42, "object_id": 7}
 
-``static_indices`` and ``history`` are model-vocabulary indices — the mapping
-from raw ids is the job of :class:`repro.data.features.FeatureEncoder` (see
-the README quickstart).
+The ``rank-topk`` head consumes *ranking* requests instead — one candidate
+list per request, ranked through the candidate-deduplicated fast path::
+
+    {"static_indices": [4, 0], "candidates": [17, 21, 35], "k": 2,
+     "history": [3, 7, 12], "user_id": 42}
+
+``static_indices``, ``candidates`` and ``history`` are model-vocabulary
+indices — the mapping from raw ids is the job of
+:class:`repro.data.features.FeatureEncoder` (see the README quickstart).
 """
 
 from __future__ import annotations
 
 import json
-from typing import IO, Iterable, List
+from typing import IO, Iterable, List, Optional
 
-from repro.serving.batcher import MicroBatcher, ScoreRequest
+from repro.serving.batcher import MicroBatcher, RankRequest, ScoreRequest
+from repro.serving.cache import CacheStats
 from repro.serving.registry import ModelRegistry
 
-#: Endpoints a request file / stream may select.
-HEADS = ("score", "rank", "classify", "regress")
+#: Endpoints a request file / stream may select.  The scoring heads take one
+#: candidate per request; ``rank-topk`` takes one candidate *list* per request.
+HEADS = ("score", "rank", "classify", "regress", "rank-topk")
+
+#: The head whose requests are ranking (candidate-list) requests.
+RANK_TOPK_HEAD = "rank-topk"
 
 
 def parse_request(payload: dict) -> ScoreRequest:
@@ -49,6 +60,32 @@ def parse_requests(payloads: Iterable[dict]) -> List[ScoreRequest]:
     return [parse_request(payload) for payload in payloads]
 
 
+def parse_rank_request(payload: dict, default_k: Optional[int] = None) -> RankRequest:
+    """Build a :class:`RankRequest` from its JSON wire representation."""
+    for key in ("static_indices", "candidates"):
+        if key not in payload:
+            raise ValueError(f"ranking request is missing {key!r}")
+    k = payload.get("k", default_k)
+    return RankRequest(
+        static_indices=[int(index) for index in payload["static_indices"]],
+        candidates=[int(index) for index in payload["candidates"]],
+        history=[int(index) for index in payload.get("history", [])],
+        user_id=int(payload.get("user_id", -1)),
+        k=int(k) if k is not None else None,
+    )
+
+
+def parse_rank_requests(
+    payloads: Iterable[dict], default_k: Optional[int] = None
+) -> List[RankRequest]:
+    return [parse_rank_request(payload, default_k) for payload in payloads]
+
+
+def _cache_delta(before: CacheStats, after: CacheStats) -> CacheStats:
+    """Cache counters attributable to one call, as a stats object."""
+    return CacheStats(hits=after.hits - before.hits, misses=after.misses - before.misses)
+
+
 def predict_batch(
     registry: ModelRegistry,
     name: str,
@@ -63,6 +100,8 @@ def predict_batch(
     """
     if head not in HEADS:
         raise ValueError(f"unknown head {head!r}; expected one of {HEADS}")
+    if head == RANK_TOPK_HEAD:
+        return rank_topk_batch(registry, name, payloads, max_batch_size=max_batch_size)
     requests = parse_requests(payloads)
     if not requests:
         raise ValueError("no requests to score")
@@ -70,7 +109,7 @@ def predict_batch(
     batcher = entry.batcher(max_batch_size=max_batch_size, head=head)
     cache_before = entry.sequence_store.stats
     scores = batcher.score_all(requests)
-    cache_after = entry.sequence_store.stats
+    cache = _cache_delta(cache_before, entry.sequence_store.stats)
     return {
         "model": name,
         "head": head,
@@ -79,8 +118,49 @@ def predict_batch(
             "requests": batcher.stats.requests,
             "batches": batcher.stats.batches,
             "mean_batch_size": batcher.stats.mean_batch_size,
-            "cache_hits": cache_after.hits - cache_before.hits,
-            "cache_misses": cache_after.misses - cache_before.misses,
+            "cache_hits": cache.hits,
+            "cache_misses": cache.misses,
+            "cache_hit_rate": cache.hit_rate,
+        },
+    }
+
+
+def rank_topk_batch(
+    registry: ModelRegistry,
+    name: str,
+    payloads: Iterable[dict],
+    k: Optional[int] = None,
+    max_batch_size: int = 256,
+) -> dict:
+    """Rank a collection of JSON candidate-list requests, one result each.
+
+    ``k`` is the default top-K cut for requests that do not carry their own
+    ``"k"``; ``None`` means return every candidate ranked.
+    """
+    requests = parse_rank_requests(payloads, default_k=k)
+    if not requests:
+        raise ValueError("no ranking requests")
+    entry = registry.get(name)
+    batcher = entry.batcher(max_batch_size=max_batch_size, head=RANK_TOPK_HEAD)
+    cache_before = entry.sequence_store.stats
+    results = batcher.rank_all(requests)
+    cache = _cache_delta(cache_before, entry.sequence_store.stats)
+    return {
+        "model": name,
+        "head": RANK_TOPK_HEAD,
+        "results": [
+            {
+                "candidates": [int(candidate) for candidate in result.candidates],
+                "scores": [float(score) for score in result.scores],
+            }
+            for result in results
+        ],
+        "stats": {
+            "requests": batcher.stats.requests,
+            "candidates_ranked": batcher.stats.rows_scored,
+            "cache_hits": cache.hits,
+            "cache_misses": cache.misses,
+            "cache_hit_rate": cache.hit_rate,
         },
     }
 
@@ -92,14 +172,18 @@ def serve_jsonl(
     output_stream: IO[str],
     head: str = "score",
     max_batch_size: int = 256,
+    k: Optional[int] = None,
 ) -> int:
     """Serve JSONL requests until EOF; returns the number of scored rows.
 
     Protocol: one JSON document per line.  A dict is a single request → the
     response line is ``{"scores": [s]}``; a list is scored as one batch → the
-    response carries one score per element, in order.  Malformed lines get an
-    ``{"error": ...}`` response instead of killing the loop.  Blank lines are
-    ignored.
+    response carries one score per element, in order.  Under the ``rank-topk``
+    head each request is a candidate-list ranking request and the response
+    carries ``{"candidates": [...], "scores": [...]}`` (wrapped in
+    ``{"results": [...]}`` for list lines); ``k`` is the default top-K cut.
+    Malformed lines get an ``{"error": ...}`` response instead of killing the
+    loop.  Blank lines are ignored.
     """
     if head not in HEADS:
         raise ValueError(f"unknown head {head!r}; expected one of {HEADS}")
@@ -113,12 +197,24 @@ def serve_jsonl(
         try:
             payload = json.loads(line)
             documents = payload if isinstance(payload, list) else [payload]
-            scores = batcher.score_all(parse_requests(documents))
+            if head == RANK_TOPK_HEAD:
+                requests = parse_rank_requests(documents, default_k=k)
+                results = batcher.rank_all(requests)
+                rendered = [
+                    {"candidates": [int(c) for c in result.candidates],
+                     "scores": [float(s) for s in result.scores]}
+                    for result in results
+                ]
+                total += sum(len(request.candidates) for request in requests)
+                response = rendered[0] if not isinstance(payload, list) else {"results": rendered}
+            else:
+                scores = batcher.score_all(parse_requests(documents))
+                total += len(scores)
+                response = {"scores": [float(s) for s in scores]}
         except (ValueError, KeyError, TypeError, IndexError) as error:
             output_stream.write(json.dumps({"error": str(error)}) + "\n")
             output_stream.flush()
             continue
-        total += len(scores)
-        output_stream.write(json.dumps({"scores": [float(s) for s in scores]}) + "\n")
+        output_stream.write(json.dumps(response) + "\n")
         output_stream.flush()
     return total

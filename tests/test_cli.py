@@ -96,7 +96,7 @@ class TestServingCommands:
         return path
 
     def test_known_serving_commands(self):
-        assert set(SERVING_COMMANDS) == {"serve", "predict-batch"}
+        assert set(SERVING_COMMANDS) == {"serve", "predict-batch", "rank-topk"}
 
     def test_serving_parser_defaults(self, checkpoint):
         args = build_serving_parser("predict-batch").parse_args(

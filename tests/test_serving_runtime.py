@@ -287,6 +287,16 @@ class TestUserSequenceStore:
         store.invalidate(7)
         assert 7 not in store
 
+    def test_hit_rate_with_zero_requests_is_zero(self):
+        """The zero-request edge: hit_rate must not divide by zero."""
+        store = UserSequenceStore(max_seq_len=3, capacity=8)
+        assert store.stats.requests == 0
+        assert store.stats.hit_rate == 0.0
+        store.encode(1, [1, 2])
+        assert store.stats.hit_rate == 0.0  # one miss, still well-defined
+        store.encode(1, [1, 2])
+        assert store.stats.hit_rate == 0.5
+
 
 # --------------------------------------------------------------------------- #
 # Registry + service
