@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := $(CURDIR)/src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-train bench-rank docs-check all
+.PHONY: test bench bench-train bench-rank bench-retrieve docs-check all
 
 # Tier-1 test suite (the acceptance gate for every PR).
 test:
@@ -25,9 +25,17 @@ bench-train:
 bench-rank:
 	$(PYTHON) -m pytest benchmarks/test_ranking_throughput.py -q
 
-# Fail if the README's code blocks have drifted from the public API: extracts
-# and executes every ```python fence in README.md.
+# Retrieval benchmark only: exact vs IVF search throughput + recall@100, and
+# the end-to-end retrieve->rank pipeline vs brute-force full-catalog ranking
+# (writes results/retrieval_throughput.txt).
+bench-retrieve:
+	$(PYTHON) -m pytest benchmarks/test_retrieval_throughput.py -q
+
+# Fail if the documented code blocks have drifted from the public API:
+# extracts and executes every ```python fence in the README and the
+# architecture guide.
 docs-check:
 	$(PYTHON) docs/check_docs.py README.md
+	$(PYTHON) docs/check_docs.py docs/ARCHITECTURE.md
 
 all: test docs-check

@@ -26,6 +26,15 @@ Rank candidate lists through the candidate-deduplicated fast path::
 
     python -m repro.experiments.cli rank-topk \
         --checkpoint ckpt.npz --requests ranking.json --k 10
+
+Two-stage retrieval (see :mod:`repro.retrieval`): snapshot the catalog into
+an item index once, then answer candidate-free requests with the
+retrieve → rank pipeline::
+
+    python -m repro.experiments.cli build-index \
+        --checkpoint ckpt.npz --item-range 40 90 --output items.npz
+    python -m repro.experiments.cli recommend \
+        --checkpoint ckpt.npz --index items.npz --requests users.json --k 10
 """
 
 from __future__ import annotations
@@ -53,10 +62,13 @@ EXPERIMENTS = ("table1", "table2", "table3", "table4", "table5", "figure3", "fig
 
 #: Serving subcommands, dispatched before the experiment parser (they take a
 #: different option set than the table/figure runners).
-SERVING_COMMANDS = ("serve", "predict-batch", "rank-topk")
+SERVING_COMMANDS = ("serve", "predict-batch", "rank-topk", "recommend")
 
 #: Training subcommand, likewise dispatched before the experiment parser.
 TRAIN_COMMAND = "train"
+
+#: Offline index build subcommand (two-stage retrieval).
+BUILD_INDEX_COMMAND = "build-index"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -64,7 +76,8 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-experiments",
         description="Regenerate the tables and figures of the SeqFM paper (ICDE 2020).",
         epilog="Training/serving subcommands (separate option sets): "
-               "'train', 'serve', 'predict-batch' and 'rank-topk' — run e.g. "
+               "'train', 'serve', 'predict-batch', 'rank-topk', 'recommend' "
+               "and 'build-index' — run e.g. "
                "'python -m repro.experiments.cli train --help'.",
     )
     parser.add_argument("experiment", choices=EXPERIMENTS + ("all",),
@@ -247,21 +260,37 @@ def build_serving_parser(command: str) -> argparse.ArgumentParser:
     )
     parser.add_argument("--checkpoint", type=Path, required=True,
                         help="SeqFM checkpoint written by repro.core.serialization.save_seqfm")
-    if command != "rank-topk":  # rank-topk *is* a head; no head to choose
+    # rank-topk and recommend *are* heads; no head to choose
+    if command not in ("rank-topk", "recommend"):
         head_choices = ("score", "rank", "classify", "regress")
         if command == "serve":
-            head_choices += ("rank-topk",)
+            head_choices += ("rank-topk", "recommend")
         parser.add_argument("--head", default="score", choices=head_choices,
                             help="task endpoint to evaluate (default: raw scores)")
     parser.add_argument("--max-batch-size", type=int, default=256,
                         help="micro-batcher flush threshold (default: 256)")
     parser.add_argument("--cache-capacity", type=int, default=4096,
                         help="user-sequence LRU capacity (default: 4096)")
-    if command in ("serve", "rank-topk"):
+    if command in ("serve", "rank-topk", "recommend"):
         parser.add_argument("--k", type=int, default=None,
-                            help="default top-K cut for ranking requests without "
-                                 "their own 'k' (default: rank every candidate)")
-    if command in ("predict-batch", "rank-topk"):
+                            help="default top-K cut for ranking/recommendation "
+                                 "requests without their own 'k'")
+    if command in ("serve", "recommend"):
+        parser.add_argument("--index", type=Path, default=None,
+                            required=(command == "recommend"),
+                            help="ItemIndex archive written by build-index "
+                                 "(required for the recommend head)")
+        parser.add_argument("--index-backend", default="exact", choices=("exact", "ivf"),
+                            help="search backend over the item index (default: exact)")
+        parser.add_argument("--partitions", type=int, default=None,
+                            help="IVF partition count (default: ceil(sqrt(n_items)))")
+        parser.add_argument("--n-probe", type=int, default=None,
+                            help="IVF partitions probed per query "
+                                 "(default: ceil(partitions / 4))")
+        parser.add_argument("--n-retrieve", type=int, default=None,
+                            help="retrieval fan-out handed to the re-ranker "
+                                 "(default: 500)")
+    if command in ("predict-batch", "rank-topk", "recommend"):
         parser.add_argument("--requests", type=Path, required=True,
                             help="JSON file holding a list of request objects")
         parser.add_argument("--output", type=Path, default=None,
@@ -269,10 +298,49 @@ def build_serving_parser(command: str) -> argparse.ArgumentParser:
     return parser
 
 
+def _attach_index_from_args(registry, args) -> Optional[str]:
+    """Load and attach ``--index`` per the CLI options; returns an error string."""
+    if not hasattr(args, "index"):  # command without index options
+        return None
+    if args.index is None:
+        # Index-tuning flags without an index would be silently dead — reject
+        # them so the operator never believes IVF tuning is in effect.
+        dangling = [option for option, value in
+                    (("--index-backend", args.index_backend != "exact"),
+                     ("--partitions", args.partitions is not None),
+                     ("--n-probe", args.n_probe is not None),
+                     ("--n-retrieve", args.n_retrieve is not None))
+                    if value]
+        if dangling:
+            return f"{' / '.join(dangling)} require --index"
+        return None
+    backend_options = {}
+    if args.partitions is not None:
+        backend_options["n_partitions"] = args.partitions
+    if args.n_probe is not None:
+        backend_options["n_probe"] = args.n_probe
+    if backend_options and args.index_backend != "ivf":
+        used = " / ".join(option for option, value in (("--partitions", args.partitions),
+                                                       ("--n-probe", args.n_probe))
+                          if value is not None)
+        return f"{used} only applies to '--index-backend ivf'"
+    try:
+        registry.load_index("default", args.index, backend=args.index_backend,
+                            n_retrieve=args.n_retrieve, **backend_options)
+    except (ValueError, KeyError, OSError, TypeError, zipfile.BadZipFile) as error:
+        return f"cannot load index {args.index}: {error}"
+    return None
+
+
 def run_serving(command: str, argv: List[str]) -> int:
     """Execute a serving subcommand; returns a process exit code."""
     from repro.serving import ModelRegistry
-    from repro.serving.service import predict_batch, rank_topk_batch, serve_jsonl
+    from repro.serving.service import (
+        predict_batch,
+        rank_topk_batch,
+        recommend_batch,
+        serve_jsonl,
+    )
 
     args = build_serving_parser(command).parse_args(argv)
     if not args.checkpoint.exists():
@@ -284,8 +352,20 @@ def run_serving(command: str, argv: List[str]) -> int:
     except (ValueError, KeyError, OSError, zipfile.BadZipFile) as error:
         print(f"error: cannot load {args.checkpoint}: {error}", file=sys.stderr)
         return 2
+    index_error = _attach_index_from_args(registry, args)
+    if index_error is not None:
+        print(f"error: {index_error}", file=sys.stderr)
+        return 2
+    if command == "serve" and args.head == "recommend" and args.index is None:
+        print("error: --head recommend requires --index", file=sys.stderr)
+        return 2
 
-    if command in ("predict-batch", "rank-topk"):
+    def cache_summary() -> str:
+        stats = registry.get("default").sequence_store.stats
+        return (f"cache hit rate {stats.hit_rate:.2f}, "
+                f"{stats.evictions} evictions")
+
+    if command in ("predict-batch", "rank-topk", "recommend"):
         try:
             payloads = json.loads(args.requests.read_text())
         except (OSError, ValueError) as error:
@@ -301,13 +381,20 @@ def run_serving(command: str, argv: List[str]) -> int:
                                            max_batch_size=args.max_batch_size)
                 summary = (f"ranked {response['stats']['candidates_ranked']} candidates "
                            f"across {response['stats']['requests']} requests "
-                           f"(cache hit rate "
-                           f"{registry.get('default').sequence_store.stats.hit_rate:.2f})")
+                           f"({cache_summary()})")
+            elif command == "recommend":
+                response = recommend_batch(registry, "default", payloads, k=args.k,
+                                           n_retrieve=args.n_retrieve,
+                                           max_batch_size=args.max_batch_size)
+                summary = (f"recommended {response['stats']['items_recommended']} items "
+                           f"across {response['stats']['requests']} requests from a "
+                           f"{response['stats']['catalog_size']}-item catalog "
+                           f"({cache_summary()})")
             else:
                 response = predict_batch(registry, "default", payloads, head=args.head,
                                          max_batch_size=args.max_batch_size)
                 summary = f"{len(response['scores'])} scores"
-        except (ValueError, KeyError, TypeError, IndexError) as error:
+        except (ValueError, KeyError, TypeError, IndexError, RuntimeError) as error:
             print(f"error: {error}", file=sys.stderr)
             return 2
         rendered = json.dumps(response, indent=2)
@@ -317,20 +404,93 @@ def run_serving(command: str, argv: List[str]) -> int:
             print(f"wrote {args.output} ({summary})")
         else:
             print(rendered)
-            if command == "rank-topk":
+            if command in ("rank-topk", "recommend"):
                 print(summary, file=sys.stderr)
         return 0
 
     try:
-        total = serve_jsonl(registry, "default", sys.stdin, sys.stdout,
-                            head=args.head, max_batch_size=args.max_batch_size,
-                            k=args.k)
+        summary = serve_jsonl(registry, "default", sys.stdin, sys.stdout,
+                              head=args.head, max_batch_size=args.max_batch_size,
+                              k=args.k, n_retrieve=getattr(args, "n_retrieve", None))
     except (ValueError, KeyError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
-    store_stats = registry.get("default").sequence_store.stats
-    print(f"served {total} requests (cache hit rate {store_stats.hit_rate:.2f})",
+    print(f"served {summary.rows} rows over {summary.served} lines "
+          f"({summary.errors} errors, {cache_summary()})",
           file=sys.stderr)
+    return 0
+
+
+def build_index_parser() -> argparse.ArgumentParser:
+    """Parser for the ``build-index`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments build-index",
+        description="Snapshot a checkpoint's item catalog into a searchable "
+                    "ItemIndex archive (see repro.retrieval).",
+    )
+    parser.add_argument("--checkpoint", type=Path, required=True,
+                        help="SeqFM checkpoint written by repro.core.serialization.save_seqfm")
+    parser.add_argument("--output", type=Path, required=True,
+                        help="where to write the ItemIndex archive (.npz)")
+    group = parser.add_mutually_exclusive_group(required=True)
+    group.add_argument("--item-range", type=int, nargs=2, metavar=("START", "STOP"),
+                       help="half-open static-vocabulary range of catalog items "
+                            "(the FeatureEncoder layout puts objects at "
+                            "[num_users, num_users + num_objects))")
+    group.add_argument("--items-file", type=Path,
+                       help="JSON file holding a list of static-vocabulary item indices")
+    parser.add_argument("--probes", type=int, default=None,
+                        help="probe items for the query encoder "
+                             "(default: min(n_items, max(32, 4*d)))")
+    parser.add_argument("--partitions", type=int, default=None,
+                        help="k-means partition count for IVF search and "
+                             "query calibration (default: ceil(sqrt(n_items)))")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="probe-sampling / k-means seed (default: 0)")
+    return parser
+
+
+def run_build_index(argv: List[str]) -> int:
+    """Build and save an item index from a checkpoint; returns an exit code."""
+    from repro.core.serialization import load_seqfm
+    from repro.retrieval import ItemIndex
+
+    args = build_index_parser().parse_args(argv)
+    if not args.checkpoint.exists():
+        print(f"error: checkpoint not found: {args.checkpoint}", file=sys.stderr)
+        return 2
+    try:
+        model = load_seqfm(args.checkpoint)
+    except (ValueError, KeyError, OSError, zipfile.BadZipFile) as error:
+        print(f"error: cannot load {args.checkpoint}: {error}", file=sys.stderr)
+        return 2
+    if args.item_range is not None:
+        start, stop = args.item_range
+        item_ids = range(start, stop)
+    else:
+        try:
+            item_ids = json.loads(args.items_file.read_text())
+        except (OSError, ValueError) as error:
+            print(f"error: cannot read {args.items_file}: {error}", file=sys.stderr)
+            return 2
+        if not isinstance(item_ids, list) or not item_ids:
+            print(f"error: {args.items_file} must contain a non-empty JSON list "
+                  "of item indices", file=sys.stderr)
+            return 2
+    try:
+        index = ItemIndex.from_model(model, item_ids,
+                                     num_probes=args.probes, seed=args.seed,
+                                     n_partitions=args.partitions)
+    except (ValueError, IndexError, TypeError) as error:
+        print(f"error: cannot build index: {error}", file=sys.stderr)
+        return 2
+    index.save(args.output)
+    print(f"wrote {args.output} ({index.num_items} items, d={index.dim}, "
+          f"{index.probe_positions.shape[0]} probes, "
+          f"{index.n_partitions} partitions)")
+    print(f"recommend with it:  python -m repro.experiments.cli recommend "
+          f"--checkpoint {args.checkpoint} --index {args.output} "
+          f"--requests users.json --k 10")
     return 0
 
 
@@ -338,6 +498,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv and argv[0] == TRAIN_COMMAND:
         return run_train(argv[1:])
+    if argv and argv[0] == BUILD_INDEX_COMMAND:
+        return run_build_index(argv[1:])
     if argv and argv[0] in SERVING_COMMANDS:
         return run_serving(argv[0], argv[1:])
     args = build_parser().parse_args(argv)

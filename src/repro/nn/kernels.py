@@ -139,6 +139,92 @@ def top_k(
     return eligible[chosen[order]].astype(np.int64)
 
 
+def blocked_topk_matmul(
+    query: np.ndarray,
+    matrix: np.ndarray,
+    k: int,
+    block_size: int = 8192,
+    row_bias: Optional[np.ndarray] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Top-``k`` rows of ``matrix`` by inner product with ``query``, blocked.
+
+    Computes ``matrix @ query`` in row blocks of ``block_size`` so the brute
+    force scan of a large catalog never materialises more than one block of
+    scores at a time, keeping memory flat in the catalog size.  ``row_bias``
+    (one entry per matrix row) is added to the scores inside the scan — the
+    retrieval use case is per-partition calibration offsets.  Returns
+    ``(row_indices, scores)`` best first.  Selection is exact: every true
+    top-k row survives its own block's :func:`top_k` cut, and the final merge
+    orders by ``(-score, row index)`` — the same result (including the tie
+    order of bitwise-equal scores) as ``top_k(matrix @ query + row_bias, k)``
+    over the full product, up to BLAS summation-order rounding of the
+    products themselves.
+    """
+    query = np.asarray(query, dtype=np.float64).reshape(-1)
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.ndim != 2 or matrix.shape[1] != query.shape[0]:
+        raise ValueError(
+            f"matrix must have shape (rows, {query.shape[0]}), got {matrix.shape}"
+        )
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    if block_size < 1:
+        raise ValueError("block_size must be positive")
+    if row_bias is not None:
+        row_bias = np.asarray(row_bias, dtype=np.float64).reshape(-1)
+        if row_bias.shape[0] != matrix.shape[0]:
+            raise ValueError(
+                f"row_bias must have one entry per matrix row ({matrix.shape[0]}), "
+                f"got {row_bias.shape[0]}"
+            )
+    rows = matrix.shape[0]
+    if rows == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64)
+    survivor_indices = []
+    survivor_scores = []
+    for start in range(0, rows, block_size):
+        block_scores = matrix[start:start + block_size] @ query
+        if row_bias is not None:
+            block_scores = block_scores + row_bias[start:start + block_size]
+        keep = top_k(block_scores, k)
+        survivor_indices.append(keep + start)
+        survivor_scores.append(block_scores[keep])
+    indices = np.concatenate(survivor_indices)
+    scores = np.concatenate(survivor_scores)
+    order = np.lexsort((indices, -scores))[: min(k, indices.size)]
+    return indices[order].astype(np.int64), scores[order]
+
+
+def kmeans_assign(
+    points: np.ndarray, centroids: np.ndarray, block_size: int = 8192
+) -> np.ndarray:
+    """Nearest-centroid assignment (squared Euclidean), blocked over points.
+
+    The assignment half of a Lloyd iteration, shared by the IVF index build
+    and its query-time partition routing.  Distances are computed as
+    ``‖c‖² − 2·p·c`` (the point's own norm is constant per row and cannot
+    change the argmin) in blocks of ``block_size`` points, so assigning a
+    100k-item catalog to hundreds of centroids stays within a few MB of
+    scratch.  Ties resolve to the lowest centroid index.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    centroids = np.asarray(centroids, dtype=np.float64)
+    if points.ndim != 2 or centroids.ndim != 2 or points.shape[1] != centroids.shape[1]:
+        raise ValueError(
+            f"points {points.shape} and centroids {centroids.shape} must share "
+            "their feature dimension"
+        )
+    if block_size < 1:
+        raise ValueError("block_size must be positive")
+    centroid_norms = (centroids * centroids).sum(axis=1)  # (k,)
+    assignments = np.empty(points.shape[0], dtype=np.int64)
+    for start in range(0, points.shape[0], block_size):
+        block = points[start:start + block_size]
+        distances = centroid_norms[None, :] - 2.0 * (block @ centroids.T)
+        assignments[start:start + block.shape[0]] = distances.argmin(axis=1)
+    return assignments
+
+
 def layer_norm(
     x: np.ndarray, scale: np.ndarray, bias: np.ndarray, eps: float = 1e-8
 ) -> np.ndarray:

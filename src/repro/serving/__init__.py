@@ -24,6 +24,13 @@ sharing one user history are scored with every candidate-independent quantity
 projections — computed once per user (:class:`~repro.serving.engine.RankingPlan`)
 instead of once per candidate, with 1e-10 parity to the per-candidate loop.
 
+On top of ranking sits **two-stage retrieval** (:mod:`repro.retrieval`):
+an :class:`~repro.retrieval.index.ItemIndex` snapshot of the catalog answers
+candidate-*free* requests — index sweep to an ``n_retrieve`` shortlist, exact
+fast-path re-rank to top-K — via ``InferenceEngine.retrieve_then_rank``, the
+``MicroBatcher`` recommend head, ``ModelRegistry.build_index``/``recommend``
+and the ``recommend`` service head / CLI subcommand.
+
 Usage
 -----
 Load a checkpoint and serve micro-batched ranking requests::
@@ -62,16 +69,20 @@ from repro.serving.batcher import (
     PendingScore,
     RankedCandidates,
     RankRequest,
+    RecommendRequest,
     ScoreRequest,
 )
 from repro.serving.cache import CacheStats, LRUCache, UserSequenceStore
 from repro.serving.engine import InferenceEngine, RankingPlan
 from repro.serving.registry import ModelRegistry, RegisteredModel
 from repro.serving.service import (
+    ServeSummary,
     parse_rank_request,
+    parse_recommend_request,
     parse_request,
     predict_batch,
     rank_topk_batch,
+    recommend_batch,
     serve_jsonl,
 )
 
@@ -86,12 +97,16 @@ __all__ = [
     "RankedCandidates",
     "RankingPlan",
     "RankRequest",
+    "RecommendRequest",
     "RegisteredModel",
     "ScoreRequest",
+    "ServeSummary",
     "UserSequenceStore",
     "parse_rank_request",
+    "parse_recommend_request",
     "parse_request",
     "predict_batch",
     "rank_topk_batch",
+    "recommend_batch",
     "serve_jsonl",
 ]

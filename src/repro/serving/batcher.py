@@ -33,6 +33,16 @@ ScoreFn = Callable[[FeatureBatch], np.ndarray]
 #: (static_profile, candidates, k, history, history_mask) → (top ids, scores).
 RankFn = Callable[..., "tuple[np.ndarray, np.ndarray]"]
 
+#: Type of the recommendation callable the recommend head drives — the
+#: signature of
+#: :meth:`repro.retrieval.pipeline.RetrievePipeline.retrieve_then_rank`:
+#: (static_profile, k, history, n_retrieve, history_mask) → RankedCandidates.
+RecommendFn = Callable[..., "RankedCandidates"]
+
+#: Top-K cut of the recommend head when neither the request nor the caller
+#: specifies one (recommendation has no candidate list to default to).
+DEFAULT_RECOMMEND_K = 10
+
 
 @dataclass(frozen=True)
 class RankRequest:
@@ -59,6 +69,34 @@ class RankRequest:
     history: Sequence[int] = ()
     user_id: int = -1
     k: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class RecommendRequest:
+    """One recommendation request: no candidates — the index finds them.
+
+    Attributes
+    ----------
+    static_indices:
+        The user's static profile row (model vocabulary); the candidate slot
+        holds a placeholder that retrieval/re-ranking replace per item.
+    history:
+        Chronological dynamic-vocabulary indices of the user's past events
+        (most recent last, not padded).
+    user_id:
+        Raw user identifier; enables the user-sequence cache when ≥ 0.
+    k:
+        Per-request top-K cut; ``None`` falls back to the head default
+        (:data:`DEFAULT_RECOMMEND_K`).
+    n_retrieve:
+        Per-request retrieval fan-out; ``None`` uses the pipeline default.
+    """
+
+    static_indices: Sequence[int]
+    history: Sequence[int] = ()
+    user_id: int = -1
+    k: Optional[int] = None
+    n_retrieve: Optional[int] = None
 
 
 @dataclass(frozen=True)
@@ -169,6 +207,12 @@ class MicroBatcher:
         the **rank head** (:meth:`rank`/:meth:`rank_all`): whole candidate
         lists evaluated through the candidate-deduplicated fast path instead
         of one scoring row per candidate.
+    recommend_fn:
+        Optional recommendation callable — typically
+        :meth:`repro.retrieval.pipeline.RetrievePipeline.retrieve_then_rank`
+        — that powers the **recommend head**
+        (:meth:`recommend`/:meth:`recommend_all`): candidate-free requests
+        answered by the two-stage retrieve → rank pipeline.
     """
 
     def __init__(
@@ -178,6 +222,7 @@ class MicroBatcher:
         max_seq_len: int = 20,
         sequence_store: Optional[UserSequenceStore] = None,
         rank_fn: Optional[RankFn] = None,
+        recommend_fn: Optional[RecommendFn] = None,
     ):
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be positive")
@@ -190,6 +235,7 @@ class MicroBatcher:
             )
         self.score_fn = score_fn
         self.rank_fn = rank_fn
+        self.recommend_fn = recommend_fn
         self.max_batch_size = max_batch_size
         self.max_seq_len = max_seq_len
         self.sequence_store = sequence_store
@@ -303,6 +349,60 @@ class MicroBatcher:
     ) -> List[RankedCandidates]:
         """Rank many requests, results in request order."""
         return [self.rank(request, k) for request in requests]
+
+    # ------------------------------------------------------------------ #
+    # Recommend head
+    # ------------------------------------------------------------------ #
+    def recommend(
+        self,
+        request: RecommendRequest,
+        k: Optional[int] = None,
+        n_retrieve: Optional[int] = None,
+    ) -> RankedCandidates:
+        """Answer one candidate-free request through retrieve → rank.
+
+        Like :meth:`rank`, a recommendation is already a dense unit of work
+        (one index sweep + one shortlist re-rank), so it is evaluated
+        immediately via ``recommend_fn``.  The history is encoded through the
+        sequence store when the request carries a ``user_id``, exactly as the
+        scoring and rank heads do.  The ``k`` argument overrides the
+        request's own ``k`` (the same precedence as :meth:`rank`), falling
+        back to :data:`DEFAULT_RECOMMEND_K`; ``n_retrieve`` likewise resolves
+        call → request → pipeline default.
+        """
+        if self.recommend_fn is None:
+            raise RuntimeError(
+                "this batcher has no recommend head (recommend_fn not configured)"
+            )
+        cut = k if k is not None else request.k
+        if cut is None:
+            cut = DEFAULT_RECOMMEND_K
+        fanout = n_retrieve if n_retrieve is not None else request.n_retrieve
+        self.stats.requests += 1
+        if self.sequence_store is not None and request.user_id >= 0:
+            indices, mask = self.sequence_store.encode(request.user_id, request.history)
+            result = self.recommend_fn(
+                request.static_indices, cut,
+                history=indices[None, :], n_retrieve=fanout,
+                history_mask=mask[None, :],
+            )
+        else:
+            result = self.recommend_fn(
+                request.static_indices, cut,
+                history=request.history, n_retrieve=fanout,
+            )
+        self.stats.batches += 1
+        self.stats.rows_scored += len(result)
+        return result
+
+    def recommend_all(
+        self,
+        requests: Sequence[RecommendRequest],
+        k: Optional[int] = None,
+        n_retrieve: Optional[int] = None,
+    ) -> List[RankedCandidates]:
+        """Recommend for many requests, results in request order."""
+        return [self.recommend(request, k, n_retrieve) for request in requests]
 
     # ------------------------------------------------------------------ #
     # Collation

@@ -320,6 +320,59 @@ class InferenceEngine:
         order = kernels.top_k(scores, k)
         return candidates[order].astype(np.int64, copy=False), scores[order]
 
+    # ------------------------------------------------------------------ #
+    # Two-stage retrieval (candidate generation + re-rank)
+    # ------------------------------------------------------------------ #
+    def retrieve(
+        self,
+        searcher,
+        static_profile: Sequence[int],
+        history: Sequence[int] = (),
+        n: int = 100,
+        history_mask: Optional[np.ndarray] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Candidate generation: top-``n`` catalog items from an item index.
+
+        ``searcher`` is an :class:`~repro.retrieval.index.ExactIndex` or
+        :class:`~repro.retrieval.index.IVFIndex` over a snapshot of *this*
+        model's catalog.  The user's query is the per-user linear surrogate of
+        :class:`~repro.retrieval.query.QueryEncoder`; returns
+        ``(item_ids, surrogate_scores)`` best first.  For the full two-stage
+        request use :meth:`retrieve_then_rank`.
+        """
+        from repro.retrieval.pipeline import RetrievePipeline
+
+        pipeline = RetrievePipeline(self, searcher, n_retrieve=max(1, n))
+        result = pipeline.retrieve(static_profile, history, n=n,
+                                   history_mask=history_mask)
+        return result.candidates, result.scores
+
+    def retrieve_then_rank(
+        self,
+        searcher,
+        static_profile: Sequence[int],
+        k: int,
+        history: Sequence[int] = (),
+        n_retrieve: Optional[int] = None,
+        history_mask: Optional[np.ndarray] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Two-stage recommendation: index shortlist, exact top-``k`` re-rank.
+
+        One :class:`RankingPlan` is shared by the query encoder and the
+        re-ranker, so the per-user model work happens once.  Returns
+        ``(item_ids, exact_scores)`` best first — the same contract as
+        :meth:`rank_topk`, with the candidate list found by the index instead
+        of supplied by the caller.
+        """
+        from repro.retrieval.pipeline import RetrievePipeline
+
+        pipeline = RetrievePipeline(self, searcher)
+        ranked = pipeline.retrieve_then_rank(
+            static_profile, k, history, n_retrieve=n_retrieve,
+            history_mask=history_mask,
+        )
+        return ranked.candidates, ranked.scores
+
     def _cross_view_from_plan(
         self, static_embedded: np.ndarray, plan: RankingPlan
     ) -> np.ndarray:

@@ -15,26 +15,42 @@ mirroring the task heads in :mod:`repro.core.tasks`:
   (:class:`~repro.core.tasks.RegressionTask` predictions);
 * :meth:`ModelRegistry.rank_topk` — top-K over a candidate list through the
   candidate-deduplicated ranking fast path
-  (:meth:`~repro.serving.engine.InferenceEngine.rank_candidates`).
+  (:meth:`~repro.serving.engine.InferenceEngine.rank_candidates`);
+* :meth:`ModelRegistry.recommend` — top-K over the *whole catalog* through the
+  two-stage retrieve → rank pipeline (:mod:`repro.retrieval`), after an item
+  index is built (:meth:`ModelRegistry.build_index`) or loaded from disk
+  (:meth:`ModelRegistry.load_index`).
 
 Reloading a checkpoint into an existing name swaps the weights in place; the
 engine reads parameters by reference, so in-flight handles keep working.
+Registering or architecture-replacing over an existing name requires
+``overwrite=True`` — silent replacement is an error, not a default.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.core.model import SeqFM
 from repro.core.serialization import load_seqfm, save_seqfm
 from repro.data.features import FeatureBatch
-from repro.serving.batcher import MicroBatcher, RankedCandidates, RankRequest, ScoreRequest
+from repro.serving.batcher import (
+    MicroBatcher,
+    RankedCandidates,
+    RankRequest,
+    RecommendRequest,
+    ScoreRequest,
+)
 from repro.serving.cache import UserSequenceStore
 from repro.serving.engine import InferenceEngine
+
+if TYPE_CHECKING:  # pragma: no cover — import cycle: retrieval imports the engine
+    from repro.retrieval.index import ItemIndex
+    from repro.retrieval.pipeline import RetrievePipeline
 
 PathLike = Union[str, Path]
 
@@ -48,6 +64,11 @@ class RegisteredModel:
     engine: InferenceEngine
     sequence_store: UserSequenceStore
     source: Optional[Path] = None
+    #: Catalog snapshot for two-stage retrieval; attached by
+    #: :meth:`ModelRegistry.build_index` / :meth:`ModelRegistry.load_index`.
+    index: Optional[ItemIndex] = None
+    #: The retrieve → rank pipeline over :attr:`index` (backend-specific).
+    retriever: Optional[RetrievePipeline] = None
 
     def batcher(self, max_batch_size: int = 256, head: str = "score") -> MicroBatcher:
         """Build a micro-batcher bound to one of the engine's endpoints.
@@ -57,17 +78,28 @@ class RegisteredModel:
         through the candidate-deduplicated ranking fast path
         (:meth:`~repro.serving.engine.InferenceEngine.rank_candidates`),
         sharing this model's user-sequence store with the scoring heads.
+        When an item index is attached the batcher additionally carries the
+        **recommend head** (``MicroBatcher.recommend``/``recommend_all``):
+        candidate-free requests answered by the two-stage retrieve → rank
+        pipeline.
         """
         score_fn = {
             "score": self.engine.score,
             "rank": self.engine.score,
             "rank-topk": self.engine.score,
+            "recommend": self.engine.score,
             "classify": self.engine.classify,
             "regress": self.engine.regress,
         }.get(head)
         if score_fn is None:
             raise ValueError(
-                f"unknown head {head!r}; expected score/rank/rank-topk/classify/regress"
+                f"unknown head {head!r}; expected "
+                "score/rank/rank-topk/recommend/classify/regress"
+            )
+        if head == "recommend" and self.retriever is None:
+            raise ValueError(
+                f"model {self.name!r} has no item index attached; build or load "
+                "one first (ModelRegistry.build_index / load_index)"
             )
         return MicroBatcher(
             score_fn,
@@ -75,6 +107,9 @@ class RegisteredModel:
             max_seq_len=self.model.config.max_seq_len,
             sequence_store=self.sequence_store,
             rank_fn=self.engine.rank_topk,
+            recommend_fn=(
+                self.retriever.retrieve_then_rank if self.retriever is not None else None
+            ),
         )
 
 
@@ -95,8 +130,25 @@ class ModelRegistry:
     # ------------------------------------------------------------------ #
     # Registration / persistence
     # ------------------------------------------------------------------ #
-    def register(self, name: str, model: SeqFM, source: Optional[Path] = None) -> RegisteredModel:
-        """Register an in-memory model under ``name`` (replacing any holder)."""
+    def register(
+        self,
+        name: str,
+        model: SeqFM,
+        source: Optional[Path] = None,
+        overwrite: bool = False,
+    ) -> RegisteredModel:
+        """Register an in-memory model under ``name``.
+
+        Registering over an existing name silently dropping its engine,
+        caches and attached index is almost always a deployment mistake, so
+        it raises unless ``overwrite=True`` is passed explicitly.
+        """
+        if name in self._entries and not overwrite:
+            raise ValueError(
+                f"a model is already registered as {name!r}; pass overwrite=True "
+                "to replace it (its engine, caches and item index are dropped), "
+                "or load() a checkpoint to hot-swap weights in place"
+            )
         entry = RegisteredModel(
             name=name,
             model=model,
@@ -109,11 +161,16 @@ class ModelRegistry:
         self._entries[name] = entry
         return entry
 
-    def load(self, name: str, path: PathLike) -> RegisteredModel:
+    def load(self, name: str, path: PathLike, overwrite: bool = False) -> RegisteredModel:
         """Load a self-describing SeqFM checkpoint and register it.
 
-        Loading into an existing name whose model has the same architecture
-        hot-swaps the weights in place (the engine and caches survive).
+        Loading into an existing name whose model has the **same
+        architecture** hot-swaps the weights in place — the engine and caches
+        survive; that is the documented reload path and needs no flag.  An
+        attached item index snapshots the *old* weights, so it is dropped on
+        hot-swap; rebuild it with :meth:`build_index`.  Loading a checkpoint
+        with a **different architecture** over an existing name replaces the
+        whole entry and requires ``overwrite=True``.
         """
         path = Path(path)
         fresh = load_seqfm(path)
@@ -121,14 +178,118 @@ class ModelRegistry:
         if existing is not None and existing.model.config == fresh.config:
             existing.model.load_state_dict(fresh.state_dict())
             existing.source = path
+            existing.index = None
+            existing.retriever = None
             return existing
-        return self.register(name, fresh, source=path)
+        if existing is not None and not overwrite:
+            raise ValueError(
+                f"{path} holds a different architecture than the model registered "
+                f"as {name!r}; pass overwrite=True to replace the entry"
+            )
+        return self.register(name, fresh, source=path, overwrite=overwrite)
 
     def save(self, name: str, path: PathLike) -> Path:
         """Checkpoint a registered model via :func:`save_seqfm`."""
         entry = self.get(name)
         save_seqfm(entry.model, path)
         return Path(path)
+
+    # ------------------------------------------------------------------ #
+    # Item index management (two-stage retrieval)
+    # ------------------------------------------------------------------ #
+    def build_index(
+        self,
+        name: str,
+        item_ids: Sequence[int],
+        num_probes: Optional[int] = None,
+        seed: int = 0,
+        backend: str = "exact",
+        n_retrieve: Optional[int] = None,
+        n_partitions: Optional[int] = None,
+        **backend_options,
+    ) -> ItemIndex:
+        """Snapshot ``item_ids`` out of a registered model and attach the index.
+
+        ``item_ids`` are static-vocabulary indices of the catalog (for the
+        standard encoder layout, ``range(num_users, num_users + num_objects)``
+        — see :class:`repro.data.features.FeatureEncoder`).  The snapshot is
+        wrapped in a search backend and a
+        :class:`~repro.retrieval.pipeline.RetrievePipeline`, enabling the
+        ``recommend`` endpoints.  ``n_partitions`` sets the k-means partition
+        count of the snapshot (query calibration for every backend, the
+        inverted file for ``"ivf"``) — the catalog is clustered exactly once,
+        at that count.  ``backend_options`` go to the backend constructor
+        (e.g. ``n_probe`` for ``"ivf"``, ``block_size`` for either).
+        """
+        from repro.retrieval.index import ItemIndex
+
+        entry = self.get(name)
+        index = ItemIndex.from_model(
+            entry.model, item_ids, num_probes=num_probes, seed=seed,
+            n_partitions=n_partitions,
+        )
+        return self.attach_index(name, index, backend=backend,
+                                 n_retrieve=n_retrieve, **backend_options)
+
+    def attach_index(
+        self,
+        name: str,
+        index: ItemIndex,
+        backend: str = "exact",
+        n_retrieve: Optional[int] = None,
+        **backend_options,
+    ) -> ItemIndex:
+        """Attach an existing :class:`ItemIndex` and build its pipeline."""
+        from repro.retrieval.index import ExactIndex, IVFIndex
+        from repro.retrieval.pipeline import RetrievePipeline
+
+        entry = self.get(name)
+        if backend == "exact":
+            searcher = ExactIndex(index, **backend_options)
+        elif backend == "ivf":
+            searcher = IVFIndex(index, **backend_options)
+        else:
+            raise ValueError(f"unknown index backend {backend!r}; expected exact/ivf")
+        pipeline_options = {} if n_retrieve is None else {"n_retrieve": n_retrieve}
+        entry.index = index
+        entry.retriever = RetrievePipeline(entry.engine, searcher, **pipeline_options)
+        return index
+
+    def save_index(self, name: str, path: PathLike) -> Path:
+        """Persist a registered model's item index next to its checkpoint."""
+        entry = self.get(name)
+        if entry.index is None:
+            raise ValueError(
+                f"model {name!r} has no item index to save; build one first"
+            )
+        return entry.index.save(path)
+
+    def load_index(
+        self,
+        name: str,
+        path: PathLike,
+        backend: str = "exact",
+        n_retrieve: Optional[int] = None,
+        **backend_options,
+    ) -> ItemIndex:
+        """Load an :class:`ItemIndex` archive and attach it to ``name``.
+
+        The index must have been built from the *same* weights the registered
+        model currently holds — the archive stores a snapshot, not a
+        reference, and a mismatched snapshot silently degrades retrieval
+        quality; the dimensionality at least is validated here.
+        """
+        from repro.retrieval.index import ItemIndex
+
+        index = ItemIndex.load(path)
+        entry = self.get(name)
+        if index.dim != entry.model.config.embed_dim:
+            raise ValueError(
+                f"index at {path} has embedding dim {index.dim}, model {name!r} "
+                f"expects {entry.model.config.embed_dim}"
+            )
+        return self.attach_index(name, index, backend=backend,
+                                 n_retrieve=n_retrieve, **backend_options)
 
     def unregister(self, name: str) -> None:
         self._entries.pop(name, None)
@@ -194,3 +355,28 @@ class ModelRegistry:
             user_id=user_id,
         )
         return self.get(name).batcher(head="rank").rank(request, k)
+
+    def recommend(
+        self,
+        name: str,
+        static_profile: Sequence[int],
+        k: int,
+        history: Sequence[int] = (),
+        user_id: int = -1,
+        n_retrieve: Optional[int] = None,
+    ) -> RankedCandidates:
+        """Top-k catalog items for one user through retrieve → rank.
+
+        The candidate-free sibling of :meth:`rank_topk`: the model's attached
+        item index supplies the shortlist (``n_retrieve`` wide), the exact
+        fast path re-ranks it.  Requires :meth:`build_index` /
+        :meth:`load_index` first.  The user's history encoding is cached in
+        the sequence store when ``user_id ≥ 0``.
+        """
+        request = RecommendRequest(
+            static_indices=static_profile,
+            history=history,
+            user_id=user_id,
+            n_retrieve=n_retrieve,
+        )
+        return self.get(name).batcher(head="recommend").recommend(request, k)

@@ -22,6 +22,13 @@ list per request, ranked through the candidate-deduplicated fast path::
     {"static_indices": [4, 0], "candidates": [17, 21, 35], "k": 2,
      "history": [3, 7, 12], "user_id": 42}
 
+The ``recommend`` head consumes candidate-free *recommendation* requests —
+the model's item index supplies the candidates, the fast path re-ranks them
+(two-stage retrieval; requires an index attached to the model)::
+
+    {"static_indices": [4, 0], "k": 5, "n_retrieve": 200,
+     "history": [3, 7, 12], "user_id": 42}
+
 ``static_indices``, ``candidates`` and ``history`` are model-vocabulary
 indices — the mapping from raw ids is the job of
 :class:`repro.data.features.FeatureEncoder` (see the README quickstart).
@@ -30,18 +37,24 @@ indices — the mapping from raw ids is the job of
 from __future__ import annotations
 
 import json
+from dataclasses import dataclass
 from typing import IO, Iterable, List, Optional
 
-from repro.serving.batcher import MicroBatcher, RankRequest, ScoreRequest
+from repro.serving.batcher import MicroBatcher, RankRequest, RecommendRequest, ScoreRequest
 from repro.serving.cache import CacheStats
 from repro.serving.registry import ModelRegistry
 
 #: Endpoints a request file / stream may select.  The scoring heads take one
-#: candidate per request; ``rank-topk`` takes one candidate *list* per request.
-HEADS = ("score", "rank", "classify", "regress", "rank-topk")
+#: candidate per request; ``rank-topk`` takes one candidate *list* per
+#: request; ``recommend`` takes candidate-free requests (the item index
+#: generates the candidates).
+HEADS = ("score", "rank", "classify", "regress", "rank-topk", "recommend")
 
 #: The head whose requests are ranking (candidate-list) requests.
 RANK_TOPK_HEAD = "rank-topk"
+
+#: The head whose requests are candidate-free recommendation requests.
+RECOMMEND_HEAD = "recommend"
 
 
 def parse_request(payload: dict) -> ScoreRequest:
@@ -81,9 +94,53 @@ def parse_rank_requests(
     return [parse_rank_request(payload, default_k) for payload in payloads]
 
 
+def parse_recommend_request(
+    payload: dict,
+    default_k: Optional[int] = None,
+    default_n_retrieve: Optional[int] = None,
+) -> RecommendRequest:
+    """Build a :class:`RecommendRequest` from its JSON wire representation."""
+    if "static_indices" not in payload:
+        raise ValueError("recommendation request is missing 'static_indices'")
+    k = payload.get("k", default_k)
+    n_retrieve = payload.get("n_retrieve", default_n_retrieve)
+    return RecommendRequest(
+        static_indices=[int(index) for index in payload["static_indices"]],
+        history=[int(index) for index in payload.get("history", [])],
+        user_id=int(payload.get("user_id", -1)),
+        k=int(k) if k is not None else None,
+        n_retrieve=int(n_retrieve) if n_retrieve is not None else None,
+    )
+
+
+def parse_recommend_requests(
+    payloads: Iterable[dict],
+    default_k: Optional[int] = None,
+    default_n_retrieve: Optional[int] = None,
+) -> List[RecommendRequest]:
+    return [
+        parse_recommend_request(payload, default_k, default_n_retrieve)
+        for payload in payloads
+    ]
+
+
 def _cache_delta(before: CacheStats, after: CacheStats) -> CacheStats:
     """Cache counters attributable to one call, as a stats object."""
-    return CacheStats(hits=after.hits - before.hits, misses=after.misses - before.misses)
+    return CacheStats(
+        hits=after.hits - before.hits,
+        misses=after.misses - before.misses,
+        evictions=after.evictions - before.evictions,
+    )
+
+
+def _cache_stats_payload(cache: CacheStats) -> dict:
+    """The cache block every response's ``stats`` carries."""
+    return {
+        "cache_hits": cache.hits,
+        "cache_misses": cache.misses,
+        "cache_hit_rate": cache.hit_rate,
+        "cache_evictions": cache.evictions,
+    }
 
 
 def predict_batch(
@@ -102,6 +159,8 @@ def predict_batch(
         raise ValueError(f"unknown head {head!r}; expected one of {HEADS}")
     if head == RANK_TOPK_HEAD:
         return rank_topk_batch(registry, name, payloads, max_batch_size=max_batch_size)
+    if head == RECOMMEND_HEAD:
+        return recommend_batch(registry, name, payloads, max_batch_size=max_batch_size)
     requests = parse_requests(payloads)
     if not requests:
         raise ValueError("no requests to score")
@@ -118,9 +177,7 @@ def predict_batch(
             "requests": batcher.stats.requests,
             "batches": batcher.stats.batches,
             "mean_batch_size": batcher.stats.mean_batch_size,
-            "cache_hits": cache.hits,
-            "cache_misses": cache.misses,
-            "cache_hit_rate": cache.hit_rate,
+            **_cache_stats_payload(cache),
         },
     }
 
@@ -158,11 +215,78 @@ def rank_topk_batch(
         "stats": {
             "requests": batcher.stats.requests,
             "candidates_ranked": batcher.stats.rows_scored,
-            "cache_hits": cache.hits,
-            "cache_misses": cache.misses,
-            "cache_hit_rate": cache.hit_rate,
+            **_cache_stats_payload(cache),
         },
     }
+
+
+def recommend_batch(
+    registry: ModelRegistry,
+    name: str,
+    payloads: Iterable[dict],
+    k: Optional[int] = None,
+    n_retrieve: Optional[int] = None,
+    max_batch_size: int = 256,
+) -> dict:
+    """Answer a collection of candidate-free JSON requests, one result each.
+
+    Each request flows through the model's two-stage retrieve → rank pipeline
+    (the model must have an item index attached).  ``k``/``n_retrieve`` are
+    defaults for requests that do not carry their own.
+    """
+    requests = parse_recommend_requests(payloads, default_k=k,
+                                        default_n_retrieve=n_retrieve)
+    if not requests:
+        raise ValueError("no recommendation requests")
+    entry = registry.get(name)
+    batcher = entry.batcher(max_batch_size=max_batch_size, head=RECOMMEND_HEAD)
+    cache_before = entry.sequence_store.stats
+    results = batcher.recommend_all(requests)
+    cache = _cache_delta(cache_before, entry.sequence_store.stats)
+    return {
+        "model": name,
+        "head": RECOMMEND_HEAD,
+        "results": [
+            {
+                "candidates": [int(candidate) for candidate in result.candidates],
+                "scores": [float(score) for score in result.scores],
+            }
+            for result in results
+        ],
+        "stats": {
+            "requests": batcher.stats.requests,
+            "items_recommended": batcher.stats.rows_scored,
+            "catalog_size": entry.index.num_items if entry.index is not None else 0,
+            **_cache_stats_payload(cache),
+        },
+    }
+
+
+@dataclass
+class ServeSummary:
+    """What one :func:`serve_jsonl` run did, for operator-facing summaries.
+
+    Attributes
+    ----------
+    rows:
+        Result rows emitted: one per score for the scoring heads, one per
+        returned (post-top-K-cut) ranked/recommended item for the list
+        heads — the same meaning for every head.
+    lines:
+        Non-blank input lines consumed (served + errored).
+    errors:
+        Lines answered with an ``{"error": ...}`` response instead of a
+        result — malformed JSON, unknown fields, out-of-range indices.
+    """
+
+    rows: int = 0
+    lines: int = 0
+    errors: int = 0
+
+    @property
+    def served(self) -> int:
+        """Lines that produced a real response."""
+        return self.lines - self.errors
 
 
 def serve_jsonl(
@@ -173,48 +297,63 @@ def serve_jsonl(
     head: str = "score",
     max_batch_size: int = 256,
     k: Optional[int] = None,
-) -> int:
-    """Serve JSONL requests until EOF; returns the number of scored rows.
+    n_retrieve: Optional[int] = None,
+) -> ServeSummary:
+    """Serve JSONL requests until EOF; returns a :class:`ServeSummary`.
 
     Protocol: one JSON document per line.  A dict is a single request → the
     response line is ``{"scores": [s]}``; a list is scored as one batch → the
     response carries one score per element, in order.  Under the ``rank-topk``
-    head each request is a candidate-list ranking request and the response
-    carries ``{"candidates": [...], "scores": [...]}`` (wrapped in
-    ``{"results": [...]}`` for list lines); ``k`` is the default top-K cut.
-    Malformed lines get an ``{"error": ...}`` response instead of killing the
-    loop.  Blank lines are ignored.
+    head each request is a candidate-list ranking request, under the
+    ``recommend`` head a candidate-free recommendation request; both respond
+    with ``{"candidates": [...], "scores": [...]}`` (wrapped in
+    ``{"results": [...]}`` for list lines).  ``k`` is the default top-K cut
+    and ``n_retrieve`` the default retrieval fan-out for requests without
+    their own.
+
+    A malformed line — broken JSON, missing fields, out-of-range indices —
+    is *skipped and reported*: it gets an ``{"error": ...}`` response, is
+    counted in :attr:`ServeSummary.errors`, and the loop moves on.  Blank
+    lines are ignored entirely.
     """
     if head not in HEADS:
         raise ValueError(f"unknown head {head!r}; expected one of {HEADS}")
     entry = registry.get(name)
     batcher = entry.batcher(max_batch_size=max_batch_size, head=head)
-    total = 0
+    summary = ServeSummary()
     for line in input_stream:
         line = line.strip()
         if not line:
             continue
+        summary.lines += 1
         try:
             payload = json.loads(line)
             documents = payload if isinstance(payload, list) else [payload]
-            if head == RANK_TOPK_HEAD:
-                requests = parse_rank_requests(documents, default_k=k)
-                results = batcher.rank_all(requests)
+            if head == RANK_TOPK_HEAD or head == RECOMMEND_HEAD:
+                if head == RANK_TOPK_HEAD:
+                    requests = parse_rank_requests(documents, default_k=k)
+                    results = batcher.rank_all(requests)
+                else:
+                    requests = parse_recommend_requests(
+                        documents, default_k=k, default_n_retrieve=n_retrieve
+                    )
+                    results = batcher.recommend_all(requests)
+                summary.rows += sum(len(result) for result in results)
                 rendered = [
                     {"candidates": [int(c) for c in result.candidates],
                      "scores": [float(s) for s in result.scores]}
                     for result in results
                 ]
-                total += sum(len(request.candidates) for request in requests)
                 response = rendered[0] if not isinstance(payload, list) else {"results": rendered}
             else:
                 scores = batcher.score_all(parse_requests(documents))
-                total += len(scores)
+                summary.rows += len(scores)
                 response = {"scores": [float(s) for s in scores]}
-        except (ValueError, KeyError, TypeError, IndexError) as error:
+        except (ValueError, KeyError, TypeError, IndexError, RuntimeError) as error:
+            summary.errors += 1
             output_stream.write(json.dumps({"error": str(error)}) + "\n")
             output_stream.flush()
             continue
         output_stream.write(json.dumps(response) + "\n")
         output_stream.flush()
-    return total
+    return summary

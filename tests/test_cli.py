@@ -96,7 +96,8 @@ class TestServingCommands:
         return path
 
     def test_known_serving_commands(self):
-        assert set(SERVING_COMMANDS) == {"serve", "predict-batch", "rank-topk"}
+        assert set(SERVING_COMMANDS) == {"serve", "predict-batch", "rank-topk",
+                                         "recommend"}
 
     def test_serving_parser_defaults(self, checkpoint):
         args = build_serving_parser("predict-batch").parse_args(

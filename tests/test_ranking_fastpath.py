@@ -508,10 +508,13 @@ class TestRankTopkService:
                  json.dumps(self.payloads()),           # list → {"results": [...]}
                  json.dumps({"candidates": [1]})]       # missing static_indices
         output = io.StringIO()
-        total = serve_jsonl(registry, "m", io.StringIO("\n".join(lines) + "\n"),
-                            output, head="rank-topk")
+        summary = serve_jsonl(registry, "m", io.StringIO("\n".join(lines) + "\n"),
+                              output, head="rank-topk")
         responses = [json.loads(line) for line in output.getvalue().splitlines()]
-        assert total == 4 + 6  # first line 4 candidates, second line 4 + 2
+        # rows = returned items: line 1 cuts 4 candidates to k=2, line 2
+        # returns 2 (k=2) + 2 (no k → all candidates).
+        assert summary.rows == 2 + 4
+        assert summary.lines == 3 and summary.errors == 1 and summary.served == 2
         assert responses[0]["candidates"] == responses[1]["results"][0]["candidates"]
         assert len(responses[1]["results"]) == 2
         assert "error" in responses[2]

@@ -395,9 +395,10 @@ class TestService:
         bad = {"static_indices": [999999, 0], "history": []}
         lines = [json.dumps(bad), json.dumps(self.payloads(1)[0])]
         output = io.StringIO()
-        total = serve_jsonl(registry, "m", io.StringIO("\n".join(lines) + "\n"), output)
+        summary = serve_jsonl(registry, "m", io.StringIO("\n".join(lines) + "\n"), output)
         responses = [json.loads(line) for line in output.getvalue().splitlines()]
-        assert total == 1
+        assert summary.rows == 1
+        assert summary.errors == 1
         assert "error" in responses[0] and "out of range" in responses[0]["error"]
         assert len(responses[1]["scores"]) == 1
 
@@ -407,9 +408,11 @@ class TestService:
         lines = [json.dumps(self.payloads(1)[0]), "", json.dumps(self.payloads(3)),
                  "this is not json"]
         output = io.StringIO()
-        total = serve_jsonl(registry, "m", io.StringIO("\n".join(lines) + "\n"), output)
+        summary = serve_jsonl(registry, "m", io.StringIO("\n".join(lines) + "\n"), output)
         responses = [json.loads(line) for line in output.getvalue().splitlines()]
-        assert total == 4  # 1 + 3 scored rows; blank skipped, bad line errored
+        assert summary.rows == 4  # 1 + 3 scored rows; blank skipped, bad line errored
+        assert summary.lines == 3  # blank line not counted
+        assert summary.errors == 1 and summary.served == 2
         assert len(responses) == 3
         assert len(responses[0]["scores"]) == 1
         assert len(responses[1]["scores"]) == 3
