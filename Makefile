@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := $(CURDIR)/src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-train bench-rank bench-retrieve docs-check all
+.PHONY: test bench bench-train bench-rank bench-retrieve bench-serve docs-check all
 
 # Tier-1 test suite (the acceptance gate for every PR).
 test:
@@ -30,6 +30,13 @@ bench-rank:
 # (writes results/retrieval_throughput.txt).
 bench-retrieve:
 	$(PYTHON) -m pytest benchmarks/test_retrieval_throughput.py -q
+
+# Serving benchmark only: single vs batched vs cached request throughput, and
+# the generic HeadRegistry dispatcher vs the hardcoded serving path (<5%
+# overhead asserted; writes results/serving_throughput.txt and
+# results/serving_protocol_overhead.txt).
+bench-serve:
+	$(PYTHON) -m pytest benchmarks/test_serving_throughput.py -q
 
 # Fail if the documented code blocks have drifted from the public API:
 # extracts and executes every ```python fence in the README and the

@@ -16,7 +16,10 @@ runtime loads directly (the train → serve loop)::
     python -m repro.experiments.cli train \
         --dataset gowalla --scale quick --checkpoint ckpt.npz
 
-Serve a trained checkpoint (see :mod:`repro.serving`)::
+Serve a trained checkpoint (see :mod:`repro.serving`; the ``serve`` loop
+speaks the versioned envelope protocol of :mod:`repro.serving.protocol` —
+per-line head/model routing, the stateful ``update`` head, structured
+errors — and auto-upgrades bare pre-envelope payloads)::
 
     python -m repro.experiments.cli predict-batch \
         --checkpoint ckpt.npz --requests requests.json --head classify
@@ -252,6 +255,11 @@ def run_train(argv: List[str]) -> int:
     return 0
 
 
+#: Subcommands that *are* heads (no ``--head`` option; the command name is
+#: the head dispatched through the HeadRegistry).
+COMMAND_HEADS = {"rank-topk": "rank-topk", "recommend": "recommend"}
+
+
 def build_serving_parser(command: str) -> argparse.ArgumentParser:
     """Parser for the ``serve`` / ``predict-batch`` subcommands."""
     parser = argparse.ArgumentParser(
@@ -261,16 +269,23 @@ def build_serving_parser(command: str) -> argparse.ArgumentParser:
     parser.add_argument("--checkpoint", type=Path, required=True,
                         help="SeqFM checkpoint written by repro.core.serialization.save_seqfm")
     # rank-topk and recommend *are* heads; no head to choose
-    if command not in ("rank-topk", "recommend"):
+    if command not in COMMAND_HEADS:
         head_choices = ("score", "rank", "classify", "regress")
         if command == "serve":
-            head_choices += ("rank-topk", "recommend")
+            head_choices += ("rank-topk", "recommend", "update")
         parser.add_argument("--head", default="score", choices=head_choices,
-                            help="task endpoint to evaluate (default: raw scores)")
+                            help="default head for requests that do not route "
+                                 "themselves via a v1 envelope (default: raw "
+                                 "scores)" if command == "serve" else
+                                 "task endpoint to evaluate (default: raw scores)")
     parser.add_argument("--max-batch-size", type=int, default=256,
                         help="micro-batcher flush threshold (default: 256)")
     parser.add_argument("--cache-capacity", type=int, default=4096,
                         help="user-sequence LRU capacity (default: 4096)")
+    parser.add_argument("--cache-ttl", type=float, default=None,
+                        help="seconds before a stored user sequence expires "
+                             "(default: never; bounds update-head state "
+                             "staleness)")
     if command in ("serve", "rank-topk", "recommend"):
         parser.add_argument("--k", type=int, default=None,
                             help="default top-K cut for ranking/recommendation "
@@ -333,20 +348,24 @@ def _attach_index_from_args(registry, args) -> Optional[str]:
 
 
 def run_serving(command: str, argv: List[str]) -> int:
-    """Execute a serving subcommand; returns a process exit code."""
-    from repro.serving import ModelRegistry
-    from repro.serving.service import (
-        predict_batch,
-        rank_topk_batch,
-        recommend_batch,
-        serve_jsonl,
-    )
+    """Execute a serving subcommand; returns a process exit code.
+
+    Every subcommand dispatches through the generic protocol layer
+    (:mod:`repro.serving.protocol`): the command (or ``--head``) names a
+    registered head, :func:`repro.serving.service.execute_batch` /
+    :func:`repro.serving.service.serve_jsonl` do the rest — nothing here is
+    head-specific.
+    """
+    from repro.serving import ModelRegistry, default_heads
+    from repro.serving.protocol import cache_stats_payload, cache_summary
+    from repro.serving.service import execute_batch, serve_jsonl
 
     args = build_serving_parser(command).parse_args(argv)
     if not args.checkpoint.exists():
         print(f"error: checkpoint not found: {args.checkpoint}", file=sys.stderr)
         return 2
-    registry = ModelRegistry(cache_capacity=args.cache_capacity)
+    registry = ModelRegistry(cache_capacity=args.cache_capacity,
+                             cache_ttl=args.cache_ttl)
     try:
         registry.load("default", args.checkpoint)
     except (ValueError, KeyError, OSError, zipfile.BadZipFile) as error:
@@ -356,16 +375,13 @@ def run_serving(command: str, argv: List[str]) -> int:
     if index_error is not None:
         print(f"error: {index_error}", file=sys.stderr)
         return 2
-    if command == "serve" and args.head == "recommend" and args.index is None:
-        print("error: --head recommend requires --index", file=sys.stderr)
-        return 2
+    head = COMMAND_HEADS.get(command, getattr(args, "head", "score"))
 
-    def cache_summary() -> str:
+    def store_summary() -> str:
         stats = registry.get("default").sequence_store.stats
-        return (f"cache hit rate {stats.hit_rate:.2f}, "
-                f"{stats.evictions} evictions")
+        return cache_summary(cache_stats_payload(stats))
 
-    if command in ("predict-batch", "rank-topk", "recommend"):
+    if command != "serve":
         try:
             payloads = json.loads(args.requests.read_text())
         except (OSError, ValueError) as error:
@@ -376,27 +392,16 @@ def run_serving(command: str, argv: List[str]) -> int:
                   file=sys.stderr)
             return 2
         try:
-            if command == "rank-topk":
-                response = rank_topk_batch(registry, "default", payloads, k=args.k,
-                                           max_batch_size=args.max_batch_size)
-                summary = (f"ranked {response['stats']['candidates_ranked']} candidates "
-                           f"across {response['stats']['requests']} requests "
-                           f"({cache_summary()})")
-            elif command == "recommend":
-                response = recommend_batch(registry, "default", payloads, k=args.k,
-                                           n_retrieve=args.n_retrieve,
-                                           max_batch_size=args.max_batch_size)
-                summary = (f"recommended {response['stats']['items_recommended']} items "
-                           f"across {response['stats']['requests']} requests from a "
-                           f"{response['stats']['catalog_size']}-item catalog "
-                           f"({cache_summary()})")
-            else:
-                response = predict_batch(registry, "default", payloads, head=args.head,
-                                         max_batch_size=args.max_batch_size)
-                summary = f"{len(response['scores'])} scores"
+            response = execute_batch(
+                registry, "default", payloads, head=head,
+                k=getattr(args, "k", None),
+                n_retrieve=getattr(args, "n_retrieve", None),
+                max_batch_size=args.max_batch_size,
+            )
         except (ValueError, KeyError, TypeError, IndexError, RuntimeError) as error:
             print(f"error: {error}", file=sys.stderr)
             return 2
+        summary = default_heads().get(head).describe(response)
         rendered = json.dumps(response, indent=2)
         if args.output:
             args.output.parent.mkdir(parents=True, exist_ok=True)
@@ -404,19 +409,23 @@ def run_serving(command: str, argv: List[str]) -> int:
             print(f"wrote {args.output} ({summary})")
         else:
             print(rendered)
-            if command in ("rank-topk", "recommend"):
-                print(summary, file=sys.stderr)
+            print(summary, file=sys.stderr)
         return 0
 
     try:
         summary = serve_jsonl(registry, "default", sys.stdin, sys.stdout,
-                              head=args.head, max_batch_size=args.max_batch_size,
+                              head=head, max_batch_size=args.max_batch_size,
                               k=args.k, n_retrieve=getattr(args, "n_retrieve", None))
     except (ValueError, KeyError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    codes = ""
+    if summary.error_codes:
+        breakdown = ", ".join(f"{code}={count}" for code, count
+                              in sorted(summary.error_codes.items()))
+        codes = f": {breakdown}"
     print(f"served {summary.rows} rows over {summary.served} lines "
-          f"({summary.errors} errors, {cache_summary()})",
+          f"({summary.errors} errors{codes}, {store_summary()})",
           file=sys.stderr)
     return 0
 

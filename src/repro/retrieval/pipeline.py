@@ -32,8 +32,22 @@ import numpy as np
 
 from repro.retrieval.index import ExactIndex, IVFIndex, ItemIndex
 from repro.retrieval.query import EncodedQuery, QueryEncoder
-from repro.serving.batcher import RankedCandidates
+from repro.serving.batcher import RankedCandidates, RecommendRequest
 from repro.serving.engine import InferenceEngine
+from repro.serving.protocol import (
+    ERR_BAD_REQUEST,
+    ProtocolError,
+    RankedListHead,
+    ServeDefaults,
+    cache_stats_payload,
+    cache_summary,
+    parse_history,
+    parse_int,
+    parse_int_list,
+    parse_positive_int,
+    parse_topk_cut,
+    require_mapping,
+)
 
 #: Search backends the pipeline can fan retrieval through.
 Searcher = Union[ExactIndex, IVFIndex]
@@ -150,3 +164,53 @@ class RetrievePipeline:
         return (
             f"RetrievePipeline({self.searcher!r}, n_retrieve={self.n_retrieve})"
         )
+
+
+class RecommendHead(RankedListHead):
+    """The candidate-free serving head over :class:`RetrievePipeline`.
+
+    Declared next to the pipeline it drives and registered into the default
+    :class:`~repro.serving.protocol.HeadRegistry` — the serving layer knows
+    nothing recommend-specific beyond this object.
+    """
+
+    name = "recommend"
+
+    def validate_entry(self, entry) -> None:
+        if entry.retriever is None:
+            raise ProtocolError(
+                ERR_BAD_REQUEST,
+                f"model {entry.name!r} has no item index attached; build or "
+                "load one first (ModelRegistry.build_index / load_index)",
+            )
+
+    def parse(self, payload: dict, defaults: ServeDefaults) -> RecommendRequest:
+        payload = require_mapping(payload, self.name)
+        if "static_indices" not in payload:
+            raise ProtocolError(ERR_BAD_REQUEST,
+                                "recommendation request is missing 'static_indices'")
+        return RecommendRequest(
+            static_indices=parse_int_list(payload["static_indices"], "static_indices"),
+            history=parse_history(payload, defaults),
+            user_id=parse_int(payload.get("user_id", -1), "user_id"),
+            k=parse_topk_cut(payload, defaults),
+            n_retrieve=parse_positive_int(payload, "n_retrieve",
+                                          defaults.n_retrieve),
+        )
+
+    def execute(self, batcher, requests) -> list:
+        return batcher.recommend_all(requests)
+
+    def batch_stats(self, batcher, entry, cache, results) -> dict:
+        return {
+            "requests": batcher.stats.requests,
+            "items_recommended": batcher.stats.rows_scored,
+            "catalog_size": entry.index.num_items if entry.index is not None else 0,
+            **cache_stats_payload(cache),
+        }
+
+    def describe(self, response: dict) -> str:
+        stats = response["stats"]
+        return (f"recommended {stats['items_recommended']} items across "
+                f"{stats['requests']} requests from a "
+                f"{stats['catalog_size']}-item catalog ({cache_summary(stats)})")

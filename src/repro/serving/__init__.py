@@ -15,7 +15,16 @@ production-facing inference layer of the reproduction:
   histories with exact fingerprint checks, so repeat users skip re-encoding.
 * :class:`~repro.serving.registry.ModelRegistry` — named checkpoint-backed
   models with ``rank`` / ``classify`` / ``regress`` / ``rank_topk``
-  endpoints mirroring the task heads of :mod:`repro.core.tasks`.
+  endpoints mirroring the task heads of :mod:`repro.core.tasks`, plus the
+  generic ``serve`` endpoint dispatching through the head registry.
+* :mod:`repro.serving.protocol` — the wire contract every front-end speaks:
+  a versioned request/response **envelope** (with pre-envelope payloads
+  auto-upgraded), a declarative :class:`~repro.serving.protocol.Head` /
+  :class:`~repro.serving.protocol.HeadRegistry` abstraction (new heads are
+  one registration), structured errors with stable codes, per-request
+  model routing via :class:`~repro.serving.protocol.ServingRouter`, and
+  the stateful ``update`` head that closes the online
+  recommend → click → update → recommend loop.
 
 The engine additionally exposes the **candidate ranking fast path**
 (:meth:`~repro.serving.engine.InferenceEngine.rank_candidates`): C candidates
@@ -74,9 +83,24 @@ from repro.serving.batcher import (
 )
 from repro.serving.cache import CacheStats, LRUCache, UserSequenceStore
 from repro.serving.engine import InferenceEngine, RankingPlan
+from repro.serving.protocol import (
+    ERROR_CODES,
+    PROTOCOL_VERSION,
+    Envelope,
+    Head,
+    HeadRegistry,
+    ProtocolError,
+    ServeDefaults,
+    ServingRouter,
+    UpdateRequest,
+    default_heads,
+    error_response,
+    parse_envelope,
+)
 from repro.serving.registry import ModelRegistry, RegisteredModel
 from repro.serving.service import (
     ServeSummary,
+    execute_batch,
     parse_rank_request,
     parse_recommend_request,
     parse_request,
@@ -89,19 +113,32 @@ from repro.serving.service import (
 __all__ = [
     "BatcherStats",
     "CacheStats",
+    "ERROR_CODES",
+    "Envelope",
+    "Head",
+    "HeadRegistry",
     "InferenceEngine",
     "LRUCache",
     "MicroBatcher",
     "ModelRegistry",
+    "PROTOCOL_VERSION",
     "PendingScore",
+    "ProtocolError",
     "RankedCandidates",
     "RankingPlan",
     "RankRequest",
     "RecommendRequest",
     "RegisteredModel",
     "ScoreRequest",
+    "ServeDefaults",
     "ServeSummary",
+    "ServingRouter",
+    "UpdateRequest",
     "UserSequenceStore",
+    "default_heads",
+    "error_response",
+    "execute_batch",
+    "parse_envelope",
     "parse_rank_request",
     "parse_recommend_request",
     "parse_request",

@@ -57,7 +57,9 @@ class RankRequest:
         Static-vocabulary indices of the candidate objects to rank.
     history:
         Chronological dynamic-vocabulary indices of the user's past events
-        (most recent last, not padded).
+        (most recent last, not padded).  ``None`` means "use the server-side
+        sequence": the batcher substitutes the user's stored suffix from the
+        sequence store (empty for cold users).
     user_id:
         Raw user identifier; enables the user-sequence cache when ≥ 0.
     k:
@@ -66,7 +68,7 @@ class RankRequest:
 
     static_indices: Sequence[int]
     candidates: Sequence[int]
-    history: Sequence[int] = ()
+    history: Optional[Sequence[int]] = ()
     user_id: int = -1
     k: Optional[int] = None
 
@@ -82,7 +84,8 @@ class RecommendRequest:
         holds a placeholder that retrieval/re-ranking replace per item.
     history:
         Chronological dynamic-vocabulary indices of the user's past events
-        (most recent last, not padded).
+        (most recent last, not padded); ``None`` substitutes the user's
+        stored server-side sequence.
     user_id:
         Raw user identifier; enables the user-sequence cache when ≥ 0.
     k:
@@ -93,7 +96,7 @@ class RecommendRequest:
     """
 
     static_indices: Sequence[int]
-    history: Sequence[int] = ()
+    history: Optional[Sequence[int]] = ()
     user_id: int = -1
     k: Optional[int] = None
     n_retrieve: Optional[int] = None
@@ -123,6 +126,7 @@ class ScoreRequest:
     history:
         Chronological dynamic-vocabulary indices of the user's past events
         (most recent last, *not* padded; the batcher pads/truncates).
+        ``None`` substitutes the user's stored server-side sequence.
     user_id:
         Raw user identifier; enables the user-sequence cache when ≥ 0.
     object_id:
@@ -130,7 +134,7 @@ class ScoreRequest:
     """
 
     static_indices: Sequence[int]
-    history: Sequence[int] = ()
+    history: Optional[Sequence[int]] = ()
     user_id: int = -1
     object_id: int = -1
 
@@ -332,14 +336,14 @@ class MicroBatcher:
         if cut is None:
             cut = candidates.shape[0]
         if self.sequence_store is not None and request.user_id >= 0:
-            indices, mask = self.sequence_store.encode(request.user_id, request.history)
+            indices, mask = self._encode_history(request)
             top, scores = self.rank_fn(
                 request.static_indices, candidates, cut,
                 indices[None, :], mask[None, :],
             )
         else:
             top, scores = self.rank_fn(request.static_indices, candidates, cut,
-                                       request.history)
+                                       self._resolve_history(request))
         self.stats.batches += 1
         self.stats.rows_scored += candidates.shape[0]
         return RankedCandidates(candidates=top, scores=scores)
@@ -380,7 +384,7 @@ class MicroBatcher:
         fanout = n_retrieve if n_retrieve is not None else request.n_retrieve
         self.stats.requests += 1
         if self.sequence_store is not None and request.user_id >= 0:
-            indices, mask = self.sequence_store.encode(request.user_id, request.history)
+            indices, mask = self._encode_history(request)
             result = self.recommend_fn(
                 request.static_indices, cut,
                 history=indices[None, :], n_retrieve=fanout,
@@ -389,7 +393,7 @@ class MicroBatcher:
         else:
             result = self.recommend_fn(
                 request.static_indices, cut,
-                history=request.history, n_retrieve=fanout,
+                history=self._resolve_history(request), n_retrieve=fanout,
             )
         self.stats.batches += 1
         self.stats.rows_scored += len(result)
@@ -433,18 +437,39 @@ class MicroBatcher:
             object_ids=np.array([request.object_id for request in requests], dtype=np.int64),
         )
 
+    def _resolve_history(self, request) -> Sequence[int]:
+        """The literal history of the store-less paths (``None`` → empty).
+
+        ``history=None`` is the "server-side sequence" sentinel; without a
+        sequence store (or for anonymous users) there is no server state, so
+        it degrades to an empty history.
+        """
+        return request.history if request.history is not None else ()
+
+    def _encode_history(self, request):
+        """Padded ``(indices, mask)`` via the store (``user_id ≥ 0`` callers).
+
+        Requests omitting their history read the stored encoding directly —
+        one cache lookup, no guaranteed-hit re-fingerprinting.
+        """
+        if request.history is None:
+            return self.sequence_store.encode_stored(request.user_id)
+        return self.sequence_store.encode(request.user_id, request.history)
+
     def _collate_histories(self, requests: Sequence[ScoreRequest]):
         if self.sequence_store is None:
             return pad_sequences(
-                [request.history for request in requests], self.max_seq_len
+                [self._resolve_history(request) for request in requests],
+                self.max_seq_len,
             )
         rows = []
         masks = []
         for request in requests:
             if request.user_id >= 0:
-                indices, mask = self.sequence_store.encode(request.user_id, request.history)
+                indices, mask = self._encode_history(request)
             else:
-                padded, padded_mask = pad_sequences([request.history], self.max_seq_len)
+                padded, padded_mask = pad_sequences(
+                    [self._resolve_history(request)], self.max_seq_len)
                 indices, mask = padded[0], padded_mask[0]
             rows.append(indices)
             masks.append(mask)

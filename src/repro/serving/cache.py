@@ -12,9 +12,10 @@ the cache can never serve a stale sequence.
 
 from __future__ import annotations
 
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Generic, Hashable, Optional, Sequence, Tuple, TypeVar
+from typing import Callable, Generic, Hashable, Iterable, Optional, Sequence, Tuple, TypeVar
 
 import numpy as np
 
@@ -95,10 +96,12 @@ class LRUCache(Generic[K, V]):
 @dataclass
 class _CachedSequence:
     #: the (≤ max_seq_len) visible history suffix — both the cache-validity
-    #: fingerprint and the raw material for append_event updates
+    #: fingerprint and the raw material for append_event/record updates
     fingerprint: Tuple[int, ...]
     indices: np.ndarray
     mask: np.ndarray
+    #: clock reading at (re-)encoding time, for TTL expiry
+    stamp: float = 0.0
 
 
 class UserSequenceStore:
@@ -111,6 +114,14 @@ class UserSequenceStore:
         model the sequences are fed into.
     capacity:
         Maximum number of users kept resident.
+    ttl:
+        Optional time-to-live in seconds.  Entries older than this are
+        treated as absent (and counted as evictions) — the staleness bound
+        for server-side sequences maintained by the ``update`` serving head,
+        where the store is the source of truth rather than a pure cache.
+        ``None`` (the default) never expires.
+    clock:
+        Monotonic time source for TTL bookkeeping; injectable for tests.
 
     Notes
     -----
@@ -118,28 +129,61 @@ class UserSequenceStore:
     carries the full history and is checked against the cached fingerprint
     (the last ``max_seq_len`` items — exactly the suffix the model sees).  A
     changed history is transparently re-encoded.  :meth:`append_event` keeps a
-    hot user's entry fresh without a round-trip through re-encoding callers.
+    hot user's entry fresh without a round-trip through re-encoding callers;
+    :meth:`record` is its creating sibling (the ``update`` head), and
+    :meth:`history` reads the stored suffix back for requests that omit
+    their history.
+
+    The store is **last-writer-wins**: a request carrying an explicit history
+    re-encodes and *replaces* the user's stored suffix (that is how read
+    traffic seeds the server-side state the ``update`` head extends — the
+    recommend → update → recommend loop).  The flip side: ``history`` on the
+    wire is always the user's *full* visible history, never a fragment — a
+    client sending a partial history overwrites whatever ``update`` events
+    accumulated for that user.
     """
 
-    def __init__(self, max_seq_len: int, capacity: int = 4096):
+    def __init__(
+        self,
+        max_seq_len: int,
+        capacity: int = 4096,
+        ttl: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
         if max_seq_len < 1:
             raise ValueError("max_seq_len must be at least 1")
+        if ttl is not None and ttl <= 0:
+            raise ValueError("ttl must be positive (or None to never expire)")
         self.max_seq_len = max_seq_len
+        self.ttl = ttl
+        self._clock = clock
         self._hits = 0
         self._misses = 0
+        self._expired = 0
         self._cache: LRUCache[int, _CachedSequence] = LRUCache(capacity)
 
     @property
     def stats(self) -> CacheStats:
         """Store-level counters: a *hit* requires the fingerprint to match."""
         return CacheStats(hits=self._hits, misses=self._misses,
-                          evictions=self._cache.stats.evictions)
+                          evictions=self._cache.stats.evictions + self._expired)
 
     def __len__(self) -> int:
         return len(self._cache)
 
     def __contains__(self, user_id: int) -> bool:
-        return user_id in self._cache
+        return self._peek(user_id) is not None
+
+    def _peek(self, user_id: int) -> Optional[_CachedSequence]:
+        """The live cached entry, dropping (and counting) TTL-expired ones."""
+        cached = self._cache.get(user_id)
+        if cached is None:
+            return None
+        if self.ttl is not None and self._clock() - cached.stamp > self.ttl:
+            self._cache.pop(user_id)
+            self._expired += 1
+            return None
+        return cached
 
     def encode(self, user_id: int, history: Sequence[int]) -> Tuple[np.ndarray, np.ndarray]:
         """Padded ``(indices, mask)`` row vectors for ``history``.
@@ -149,7 +193,7 @@ class UserSequenceStore:
         :func:`repro.data.batching.pad_sequences` call.
         """
         fingerprint = tuple(int(item) for item in list(history)[-self.max_seq_len:])
-        cached = self._cache.get(user_id)
+        cached = self._peek(user_id)
         if cached is not None and cached.fingerprint == fingerprint:
             self._hits += 1
             return cached.indices, cached.mask
@@ -158,17 +202,59 @@ class UserSequenceStore:
         self._cache.put(user_id, entry)
         return entry.indices, entry.mask
 
+    def encode_stored(self, user_id: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Padded ``(indices, mask)`` of the stored suffix (empty when cold).
+
+        The hot path for requests that omit their history: one cache lookup
+        and no re-fingerprinting — a resident entry is returned directly
+        (counted as a hit); a cold user gets the empty encoding (counted as
+        a miss) *without* seeding an entry, so a sweep of cold reads can
+        never evict warm users' accumulated ``update``-head state.
+        """
+        cached = self._peek(user_id)
+        if cached is not None:
+            self._hits += 1
+            return cached.indices, cached.mask
+        self._misses += 1
+        entry = self._encode_entry(())
+        return entry.indices, entry.mask
+
+    def history(self, user_id: int) -> Optional[Tuple[int, ...]]:
+        """The stored visible history suffix, or ``None`` for cold users.
+
+        This is what requests that omit their history are answered against
+        (the v1-envelope "server-side sequence" semantic).
+        """
+        cached = self._peek(user_id)
+        return cached.fingerprint if cached is not None else None
+
     def append_event(self, user_id: int, dynamic_index: int) -> None:
         """Extend a cached user's history by one event (no-op on cold users)."""
-        cached = self._cache.get(user_id)
+        cached = self._peek(user_id)
         if cached is None:
             return
         suffix = (cached.fingerprint + (int(dynamic_index),))[-self.max_seq_len:]
         self._cache.put(user_id, self._encode_entry(suffix))
 
+    def record(self, user_id: int, events: Iterable[int]) -> _CachedSequence:
+        """Append ``events`` to a user's stored sequence, creating it if cold.
+
+        The write path of the ``update`` serving head: unlike
+        :meth:`append_event` it establishes state for users the store has
+        never seen, so the online loop works from the first interaction.
+        Returns the updated entry (its ``fingerprint`` is the new suffix).
+        """
+        cached = self._peek(user_id)
+        base = cached.fingerprint if cached is not None else ()
+        suffix = (base + tuple(int(event) for event in events))[-self.max_seq_len:]
+        entry = self._encode_entry(suffix)
+        self._cache.put(user_id, entry)
+        return entry
+
     def _encode_entry(self, fingerprint: Tuple[int, ...]) -> _CachedSequence:
         indices, mask = pad_sequences([fingerprint], self.max_seq_len, PADDING_INDEX)
-        return _CachedSequence(fingerprint=fingerprint, indices=indices[0], mask=mask[0])
+        return _CachedSequence(fingerprint=fingerprint, indices=indices[0],
+                               mask=mask[0], stamp=self._clock())
 
     def invalidate(self, user_id: int) -> None:
         """Drop a user's cached encoding."""

@@ -51,6 +51,7 @@ from repro.serving.engine import InferenceEngine
 if TYPE_CHECKING:  # pragma: no cover — import cycle: retrieval imports the engine
     from repro.retrieval.index import ItemIndex
     from repro.retrieval.pipeline import RetrievePipeline
+    from repro.serving.protocol import HeadRegistry
 
 PathLike = Union[str, Path]
 
@@ -70,39 +71,27 @@ class RegisteredModel:
     #: The retrieve → rank pipeline over :attr:`index` (backend-specific).
     retriever: Optional[RetrievePipeline] = None
 
-    def batcher(self, max_batch_size: int = 256, head: str = "score") -> MicroBatcher:
-        """Build a micro-batcher bound to one of the engine's endpoints.
+    def batcher(self, max_batch_size: int = 256, head: str = "score",
+                heads: Optional["HeadRegistry"] = None) -> MicroBatcher:
+        """Build a micro-batcher bound to one of the registered serving heads.
 
+        Dispatches through the :class:`~repro.serving.protocol.HeadRegistry`
+        (the process default unless ``heads`` is given): the head object
+        validates this entry (e.g. ``recommend`` requires an attached item
+        index) and picks the engine endpoint its batcher scores through.
         Every batcher also carries the engine's **rank head**
-        (``MicroBatcher.rank``/``rank_all``): whole candidate lists evaluated
-        through the candidate-deduplicated ranking fast path
-        (:meth:`~repro.serving.engine.InferenceEngine.rank_candidates`),
-        sharing this model's user-sequence store with the scoring heads.
-        When an item index is attached the batcher additionally carries the
-        **recommend head** (``MicroBatcher.recommend``/``recommend_all``):
-        candidate-free requests answered by the two-stage retrieve → rank
-        pipeline.
+        (``MicroBatcher.rank``/``rank_all``) and — when an item index is
+        attached — the **recommend head**
+        (``MicroBatcher.recommend``/``recommend_all``), sharing this model's
+        user-sequence store across all of them.
         """
-        score_fn = {
-            "score": self.engine.score,
-            "rank": self.engine.score,
-            "rank-topk": self.engine.score,
-            "recommend": self.engine.score,
-            "classify": self.engine.classify,
-            "regress": self.engine.regress,
-        }.get(head)
-        if score_fn is None:
-            raise ValueError(
-                f"unknown head {head!r}; expected "
-                "score/rank/rank-topk/recommend/classify/regress"
-            )
-        if head == "recommend" and self.retriever is None:
-            raise ValueError(
-                f"model {self.name!r} has no item index attached; build or load "
-                "one first (ModelRegistry.build_index / load_index)"
-            )
+        from repro.serving.protocol import default_heads
+
+        registry = heads if heads is not None else default_heads()
+        head_obj = registry.get(head)
+        head_obj.validate_entry(self)
         return MicroBatcher(
-            score_fn,
+            head_obj.score_fn(self),
             max_batch_size=max_batch_size,
             max_seq_len=self.model.config.max_seq_len,
             sequence_store=self.sequence_store,
@@ -121,10 +110,16 @@ class ModelRegistry:
     cache_capacity:
         Capacity of the per-model :class:`UserSequenceStore` (number of users
         whose encoded histories stay resident).
+    cache_ttl:
+        Optional time-to-live in seconds for stored user sequences — the
+        staleness bound for server-side state maintained by the ``update``
+        serving head (``None``: never expire).
     """
 
-    def __init__(self, cache_capacity: int = 4096):
+    def __init__(self, cache_capacity: int = 4096,
+                 cache_ttl: Optional[float] = None):
         self.cache_capacity = cache_capacity
+        self.cache_ttl = cache_ttl
         self._entries: Dict[str, RegisteredModel] = {}
 
     # ------------------------------------------------------------------ #
@@ -154,7 +149,8 @@ class ModelRegistry:
             model=model,
             engine=InferenceEngine(model),
             sequence_store=UserSequenceStore(
-                model.config.max_seq_len, capacity=self.cache_capacity
+                model.config.max_seq_len, capacity=self.cache_capacity,
+                ttl=self.cache_ttl,
             ),
             source=Path(source) if source is not None else None,
         )
@@ -309,6 +305,32 @@ class ModelRegistry:
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    # ------------------------------------------------------------------ #
+    # Generic serving endpoint (the protocol front door)
+    # ------------------------------------------------------------------ #
+    def serve(
+        self,
+        name: str,
+        payloads: Sequence[dict],
+        head: str = "score",
+        k: Optional[int] = None,
+        n_retrieve: Optional[int] = None,
+        max_batch_size: int = 256,
+    ) -> dict:
+        """Answer a batch of JSON request payloads through any registered head.
+
+        The one endpoint the per-head batch helpers collapsed onto: ``head``
+        names an entry of the :class:`~repro.serving.protocol.HeadRegistry`
+        (``score`` / ``rank`` / ``classify`` / ``regress`` / ``rank-topk`` /
+        ``recommend`` / ``update`` out of the box), ``k``/``n_retrieve`` are
+        defaults for requests without their own.  Returns the head's response
+        payload — results plus batching and cache statistics.
+        """
+        from repro.serving.service import execute_batch
+
+        return execute_batch(self, name, payloads, head=head, k=k,
+                             n_retrieve=n_retrieve, max_batch_size=max_batch_size)
 
     # ------------------------------------------------------------------ #
     # Task endpoints (mirror repro.core.tasks)

@@ -1,54 +1,68 @@
-"""Request-file and stream front-ends over the serving runtime.
+"""Request-file and stream front-ends over the serving protocol.
 
-Two entry points, both driven by the ``predict-batch`` / ``serve`` CLI
-subcommands (:mod:`repro.experiments.cli`):
+Two entry points, both driven by the serving subcommands of
+:mod:`repro.experiments.cli` and both dispatching generically through the
+:class:`~repro.serving.protocol.HeadRegistry` — neither knows anything
+head-specific:
 
-* :func:`predict_batch` — score a JSON file of requests in one micro-batched
-  pass and return a JSON-serialisable payload.
+* :func:`execute_batch` — answer a collection of JSON requests through one
+  (model, head) pair in one micro-batched pass (also exposed as
+  :meth:`repro.serving.registry.ModelRegistry.serve`).
 * :func:`serve_jsonl` — a line-oriented request/response loop: each input
-  line is a JSON request (or a JSON list of requests scored as one batch),
-  each output line the matching JSON response.  This is the transport-neutral
-  core a network frontend can wrap; keeping it on file objects makes it fully
-  testable without sockets.
+  line is one wire document, each output line the matching response.  This is
+  the transport-neutral core a network frontend can wrap; keeping it on file
+  objects makes it fully testable without sockets.
 
-Request objects use the wire format::
+The wire format is the versioned envelope of
+:mod:`repro.serving.protocol`::
 
-    {"static_indices": [4, 17], "history": [3, 7, 12],
-     "user_id": 42, "object_id": 7}
+    {"v": 1, "head": "rank-topk", "model": "seqfm", "id": 7,
+     "payload": {"static_indices": [4, 0], "candidates": [17, 21, 35],
+                 "k": 2, "history": [3, 7, 12], "user_id": 42}}
 
-The ``rank-topk`` head consumes *ranking* requests instead — one candidate
-list per request, ranked through the candidate-deduplicated fast path::
-
-    {"static_indices": [4, 0], "candidates": [17, 21, 35], "k": 2,
-     "history": [3, 7, 12], "user_id": 42}
-
-The ``recommend`` head consumes candidate-free *recommendation* requests —
-the model's item index supplies the candidates, the fast path re-ranks them
-(two-stage retrieval; requires an index attached to the model)::
-
-    {"static_indices": [4, 0], "k": 5, "n_retrieve": 200,
-     "history": [3, 7, 12], "user_id": 42}
+``payload`` is one request object or a list answered as one batch; ``head``
+and ``model`` default to the server's configuration, so the envelope can
+route each line to any registered model and head.  Bare pre-envelope payloads
+(and bare lists) are auto-upgraded to v1 and answered in the pre-envelope
+response shapes, so old clients keep working unchanged.  Failures are
+structured — ``{"error": {"code": ..., "message": ..., "line": ...}}`` with
+the stable codes of :data:`repro.serving.protocol.ERROR_CODES`.
 
 ``static_indices``, ``candidates`` and ``history`` are model-vocabulary
 indices — the mapping from raw ids is the job of
-:class:`repro.data.features.FeatureEncoder` (see the README quickstart).
+:class:`repro.data.features.FeatureEncoder` (see the README quickstart).  A
+v1 request that *omits* ``history`` is answered against the user's
+server-side sequence, maintained by the stateful ``update`` head::
+
+    {"v": 1, "head": "update", "payload": {"user_id": 42, "events": [9]}}
+
+The pre-protocol per-head helpers — :func:`predict_batch`,
+:func:`rank_topk_batch`, :func:`recommend_batch` and the ``parse_*``
+functions — remain as thin deprecation shims over the generic dispatcher.
 """
 
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass
-from typing import IO, Iterable, List, Optional
+from dataclasses import dataclass, field
+from typing import IO, Dict, Iterable, List, Optional
 
-from repro.serving.batcher import MicroBatcher, RankRequest, RecommendRequest, ScoreRequest
+from repro.serving.batcher import RankRequest, RecommendRequest, ScoreRequest
 from repro.serving.cache import CacheStats
+from repro.serving.protocol import (
+    ERR_BAD_JSON,
+    ERR_BAD_REQUEST,
+    ERR_EXECUTION,
+    Envelope,
+    HeadRegistry,
+    ProtocolError,
+    ServeDefaults,
+    ServingRouter,
+    default_heads,
+    error_response,
+    parse_envelope,
+)
 from repro.serving.registry import ModelRegistry
-
-#: Endpoints a request file / stream may select.  The scoring heads take one
-#: candidate per request; ``rank-topk`` takes one candidate *list* per
-#: request; ``recommend`` takes candidate-free requests (the item index
-#: generates the candidates).
-HEADS = ("score", "rank", "classify", "regress", "rank-topk", "recommend")
 
 #: The head whose requests are ranking (candidate-list) requests.
 RANK_TOPK_HEAD = "rank-topk"
@@ -57,71 +71,12 @@ RANK_TOPK_HEAD = "rank-topk"
 RECOMMEND_HEAD = "recommend"
 
 
-def parse_request(payload: dict) -> ScoreRequest:
-    """Build a :class:`ScoreRequest` from its JSON wire representation."""
-    if "static_indices" not in payload:
-        raise ValueError("request is missing 'static_indices'")
-    return ScoreRequest(
-        static_indices=[int(index) for index in payload["static_indices"]],
-        history=[int(index) for index in payload.get("history", [])],
-        user_id=int(payload.get("user_id", -1)),
-        object_id=int(payload.get("object_id", -1)),
-    )
-
-
-def parse_requests(payloads: Iterable[dict]) -> List[ScoreRequest]:
-    return [parse_request(payload) for payload in payloads]
-
-
-def parse_rank_request(payload: dict, default_k: Optional[int] = None) -> RankRequest:
-    """Build a :class:`RankRequest` from its JSON wire representation."""
-    for key in ("static_indices", "candidates"):
-        if key not in payload:
-            raise ValueError(f"ranking request is missing {key!r}")
-    k = payload.get("k", default_k)
-    return RankRequest(
-        static_indices=[int(index) for index in payload["static_indices"]],
-        candidates=[int(index) for index in payload["candidates"]],
-        history=[int(index) for index in payload.get("history", [])],
-        user_id=int(payload.get("user_id", -1)),
-        k=int(k) if k is not None else None,
-    )
-
-
-def parse_rank_requests(
-    payloads: Iterable[dict], default_k: Optional[int] = None
-) -> List[RankRequest]:
-    return [parse_rank_request(payload, default_k) for payload in payloads]
-
-
-def parse_recommend_request(
-    payload: dict,
-    default_k: Optional[int] = None,
-    default_n_retrieve: Optional[int] = None,
-) -> RecommendRequest:
-    """Build a :class:`RecommendRequest` from its JSON wire representation."""
-    if "static_indices" not in payload:
-        raise ValueError("recommendation request is missing 'static_indices'")
-    k = payload.get("k", default_k)
-    n_retrieve = payload.get("n_retrieve", default_n_retrieve)
-    return RecommendRequest(
-        static_indices=[int(index) for index in payload["static_indices"]],
-        history=[int(index) for index in payload.get("history", [])],
-        user_id=int(payload.get("user_id", -1)),
-        k=int(k) if k is not None else None,
-        n_retrieve=int(n_retrieve) if n_retrieve is not None else None,
-    )
-
-
-def parse_recommend_requests(
-    payloads: Iterable[dict],
-    default_k: Optional[int] = None,
-    default_n_retrieve: Optional[int] = None,
-) -> List[RecommendRequest]:
-    return [
-        parse_recommend_request(payload, default_k, default_n_retrieve)
-        for payload in payloads
-    ]
+def __getattr__(name: str):
+    # ``HEADS`` mirrors the default HeadRegistry instead of duplicating it;
+    # resolved lazily so importing this module does not drag retrieval in.
+    if name == "HEADS":
+        return default_heads().names()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def _cache_delta(before: CacheStats, after: CacheStats) -> CacheStats:
@@ -133,16 +88,53 @@ def _cache_delta(before: CacheStats, after: CacheStats) -> CacheStats:
     )
 
 
-def _cache_stats_payload(cache: CacheStats) -> dict:
-    """The cache block every response's ``stats`` carries."""
+# --------------------------------------------------------------------------- #
+# One-shot batch execution (the generic dispatcher)
+# --------------------------------------------------------------------------- #
+def execute_batch(
+    registry: ModelRegistry,
+    name: str,
+    payloads: Iterable[dict],
+    head: str = "score",
+    k: Optional[int] = None,
+    n_retrieve: Optional[int] = None,
+    max_batch_size: int = 256,
+    heads: Optional[HeadRegistry] = None,
+) -> dict:
+    """Answer a collection of JSON requests through one registered head.
+
+    Every head flows through this one path: the
+    :class:`~repro.serving.protocol.Head` object parses the payloads,
+    executes them through the model's micro-batcher and shapes the response —
+    results plus batching/cache statistics.  ``k``/``n_retrieve`` are
+    defaults for requests without their own.
+    """
+    head_registry = heads if heads is not None else default_heads()
+    head_obj = head_registry.get(head)
+    payloads = list(payloads)
+    if not payloads:
+        raise ProtocolError(
+            ERR_BAD_REQUEST, f"no requests for head {head_obj.name!r}"
+        )
+    defaults = ServeDefaults(k=k, n_retrieve=n_retrieve)
+    requests = [head_obj.parse(payload, defaults) for payload in payloads]
+    entry = registry.get(name)
+    batcher = entry.batcher(max_batch_size=max_batch_size, head=head_obj.name,
+                            heads=head_registry)
+    cache_before = entry.sequence_store.stats
+    results = head_obj.execute(batcher, requests)
+    cache = _cache_delta(cache_before, entry.sequence_store.stats)
     return {
-        "cache_hits": cache.hits,
-        "cache_misses": cache.misses,
-        "cache_hit_rate": cache.hit_rate,
-        "cache_evictions": cache.evictions,
+        "model": name,
+        "head": head_obj.name,
+        **head_obj.batch_payload(results),
+        "stats": head_obj.batch_stats(batcher, entry, cache, results),
     }
 
 
+# --------------------------------------------------------------------------- #
+# Deprecation shims (pre-protocol public entry points)
+# --------------------------------------------------------------------------- #
 def predict_batch(
     registry: ModelRegistry,
     name: str,
@@ -150,36 +142,13 @@ def predict_batch(
     head: str = "score",
     max_batch_size: int = 256,
 ) -> dict:
-    """Micro-batch-score a collection of JSON requests.
+    """Deprecated: use :meth:`ModelRegistry.serve` / :func:`execute_batch`.
 
-    Returns a payload with the scores in request order plus the batching and
-    cache statistics of the run.
+    Kept as a thin shim over the generic dispatcher; response payloads are
+    unchanged (parity-tested).
     """
-    if head not in HEADS:
-        raise ValueError(f"unknown head {head!r}; expected one of {HEADS}")
-    if head == RANK_TOPK_HEAD:
-        return rank_topk_batch(registry, name, payloads, max_batch_size=max_batch_size)
-    if head == RECOMMEND_HEAD:
-        return recommend_batch(registry, name, payloads, max_batch_size=max_batch_size)
-    requests = parse_requests(payloads)
-    if not requests:
-        raise ValueError("no requests to score")
-    entry = registry.get(name)
-    batcher = entry.batcher(max_batch_size=max_batch_size, head=head)
-    cache_before = entry.sequence_store.stats
-    scores = batcher.score_all(requests)
-    cache = _cache_delta(cache_before, entry.sequence_store.stats)
-    return {
-        "model": name,
-        "head": head,
-        "scores": [float(score) for score in scores],
-        "stats": {
-            "requests": batcher.stats.requests,
-            "batches": batcher.stats.batches,
-            "mean_batch_size": batcher.stats.mean_batch_size,
-            **_cache_stats_payload(cache),
-        },
-    }
+    return execute_batch(registry, name, payloads, head=head,
+                         max_batch_size=max_batch_size)
 
 
 def rank_topk_batch(
@@ -189,35 +158,9 @@ def rank_topk_batch(
     k: Optional[int] = None,
     max_batch_size: int = 256,
 ) -> dict:
-    """Rank a collection of JSON candidate-list requests, one result each.
-
-    ``k`` is the default top-K cut for requests that do not carry their own
-    ``"k"``; ``None`` means return every candidate ranked.
-    """
-    requests = parse_rank_requests(payloads, default_k=k)
-    if not requests:
-        raise ValueError("no ranking requests")
-    entry = registry.get(name)
-    batcher = entry.batcher(max_batch_size=max_batch_size, head=RANK_TOPK_HEAD)
-    cache_before = entry.sequence_store.stats
-    results = batcher.rank_all(requests)
-    cache = _cache_delta(cache_before, entry.sequence_store.stats)
-    return {
-        "model": name,
-        "head": RANK_TOPK_HEAD,
-        "results": [
-            {
-                "candidates": [int(candidate) for candidate in result.candidates],
-                "scores": [float(score) for score in result.scores],
-            }
-            for result in results
-        ],
-        "stats": {
-            "requests": batcher.stats.requests,
-            "candidates_ranked": batcher.stats.rows_scored,
-            **_cache_stats_payload(cache),
-        },
-    }
+    """Deprecated: use :meth:`ModelRegistry.serve` with ``head="rank-topk"``."""
+    return execute_batch(registry, name, payloads, head=RANK_TOPK_HEAD, k=k,
+                         max_batch_size=max_batch_size)
 
 
 def recommend_batch(
@@ -228,40 +171,59 @@ def recommend_batch(
     n_retrieve: Optional[int] = None,
     max_batch_size: int = 256,
 ) -> dict:
-    """Answer a collection of candidate-free JSON requests, one result each.
-
-    Each request flows through the model's two-stage retrieve → rank pipeline
-    (the model must have an item index attached).  ``k``/``n_retrieve`` are
-    defaults for requests that do not carry their own.
-    """
-    requests = parse_recommend_requests(payloads, default_k=k,
-                                        default_n_retrieve=n_retrieve)
-    if not requests:
-        raise ValueError("no recommendation requests")
-    entry = registry.get(name)
-    batcher = entry.batcher(max_batch_size=max_batch_size, head=RECOMMEND_HEAD)
-    cache_before = entry.sequence_store.stats
-    results = batcher.recommend_all(requests)
-    cache = _cache_delta(cache_before, entry.sequence_store.stats)
-    return {
-        "model": name,
-        "head": RECOMMEND_HEAD,
-        "results": [
-            {
-                "candidates": [int(candidate) for candidate in result.candidates],
-                "scores": [float(score) for score in result.scores],
-            }
-            for result in results
-        ],
-        "stats": {
-            "requests": batcher.stats.requests,
-            "items_recommended": batcher.stats.rows_scored,
-            "catalog_size": entry.index.num_items if entry.index is not None else 0,
-            **_cache_stats_payload(cache),
-        },
-    }
+    """Deprecated: use :meth:`ModelRegistry.serve` with ``head="recommend"``."""
+    return execute_batch(registry, name, payloads, head=RECOMMEND_HEAD, k=k,
+                         n_retrieve=n_retrieve, max_batch_size=max_batch_size)
 
 
+def parse_request(payload: dict) -> ScoreRequest:
+    """Deprecated: parse one scoring payload (now ``Head.parse``)."""
+    return default_heads().get("score").parse(payload, ServeDefaults())
+
+
+def parse_requests(payloads: Iterable[dict]) -> List[ScoreRequest]:
+    """Deprecated: parse scoring payloads (now ``Head.parse``)."""
+    return [parse_request(payload) for payload in payloads]
+
+
+def parse_rank_request(payload: dict, default_k: Optional[int] = None) -> RankRequest:
+    """Deprecated: parse one ranking payload (now ``Head.parse``)."""
+    return default_heads().get(RANK_TOPK_HEAD).parse(
+        payload, ServeDefaults(k=default_k))
+
+
+def parse_rank_requests(
+    payloads: Iterable[dict], default_k: Optional[int] = None
+) -> List[RankRequest]:
+    """Deprecated: parse ranking payloads (now ``Head.parse``)."""
+    return [parse_rank_request(payload, default_k) for payload in payloads]
+
+
+def parse_recommend_request(
+    payload: dict,
+    default_k: Optional[int] = None,
+    default_n_retrieve: Optional[int] = None,
+) -> RecommendRequest:
+    """Deprecated: parse one recommendation payload (now ``Head.parse``)."""
+    return default_heads().get(RECOMMEND_HEAD).parse(
+        payload, ServeDefaults(k=default_k, n_retrieve=default_n_retrieve))
+
+
+def parse_recommend_requests(
+    payloads: Iterable[dict],
+    default_k: Optional[int] = None,
+    default_n_retrieve: Optional[int] = None,
+) -> List[RecommendRequest]:
+    """Deprecated: parse recommendation payloads (now ``Head.parse``)."""
+    return [
+        parse_recommend_request(payload, default_k, default_n_retrieve)
+        for payload in payloads
+    ]
+
+
+# --------------------------------------------------------------------------- #
+# Streaming front-end
+# --------------------------------------------------------------------------- #
 @dataclass
 class ServeSummary:
     """What one :func:`serve_jsonl` run did, for operator-facing summaries.
@@ -271,22 +233,31 @@ class ServeSummary:
     rows:
         Result rows emitted: one per score for the scoring heads, one per
         returned (post-top-K-cut) ranked/recommended item for the list
-        heads — the same meaning for every head.
+        heads, one per appended event for the ``update`` head — the same
+        meaning for every head.
     lines:
         Non-blank input lines consumed (served + errored).
     errors:
-        Lines answered with an ``{"error": ...}`` response instead of a
-        result — malformed JSON, unknown fields, out-of-range indices.
+        Lines answered with a structured ``{"error": ...}`` response instead
+        of a result.
+    error_codes:
+        How many errored lines carried each stable error code — the
+        operator-facing breakdown (``{"bad_request": 2, "bad_json": 1}``).
     """
 
     rows: int = 0
     lines: int = 0
     errors: int = 0
+    error_codes: Dict[str, int] = field(default_factory=dict)
 
     @property
     def served(self) -> int:
         """Lines that produced a real response."""
         return self.lines - self.errors
+
+    def record_error(self, code: str) -> None:
+        self.errors += 1
+        self.error_codes[code] = self.error_codes.get(code, 0) + 1
 
 
 def serve_jsonl(
@@ -298,62 +269,63 @@ def serve_jsonl(
     max_batch_size: int = 256,
     k: Optional[int] = None,
     n_retrieve: Optional[int] = None,
+    heads: Optional[HeadRegistry] = None,
 ) -> ServeSummary:
     """Serve JSONL requests until EOF; returns a :class:`ServeSummary`.
 
-    Protocol: one JSON document per line.  A dict is a single request → the
-    response line is ``{"scores": [s]}``; a list is scored as one batch → the
-    response carries one score per element, in order.  Under the ``rank-topk``
-    head each request is a candidate-list ranking request, under the
-    ``recommend`` head a candidate-free recommendation request; both respond
-    with ``{"candidates": [...], "scores": [...]}`` (wrapped in
-    ``{"results": [...]}`` for list lines).  ``k`` is the default top-K cut
-    and ``n_retrieve`` the default retrieval fan-out for requests without
-    their own.
+    Protocol: one JSON document per line — a v1 envelope, or a bare
+    pre-envelope payload auto-upgraded to one (see
+    :mod:`repro.serving.protocol`).  ``head`` and ``name`` are the defaults
+    for documents that do not route themselves; an envelope's ``head`` /
+    ``model`` fields may target any registered head and model per line, with
+    a :class:`~repro.serving.protocol.ServingRouter` micro-batching each
+    (model, head) group.  ``k`` / ``n_retrieve`` are the default top-K cut
+    and retrieval fan-out for requests without their own.
 
-    A malformed line — broken JSON, missing fields, out-of-range indices —
-    is *skipped and reported*: it gets an ``{"error": ...}`` response, is
-    counted in :attr:`ServeSummary.errors`, and the loop moves on.  Blank
-    lines are ignored entirely.
+    A malformed line — broken JSON, bad envelope, failed validation,
+    out-of-range indices — is *skipped and reported*: it gets a structured
+    ``{"error": {"code": ..., "message": ..., "line": ...}}`` response with
+    the 1-based input line number, is counted (per code) in the summary, and
+    the loop moves on.  Blank lines are ignored entirely (but numbered).
     """
-    if head not in HEADS:
-        raise ValueError(f"unknown head {head!r}; expected one of {HEADS}")
-    entry = registry.get(name)
-    batcher = entry.batcher(max_batch_size=max_batch_size, head=head)
+    router = ServingRouter(
+        registry, default_model=name,
+        heads=heads if heads is not None else default_heads(),
+        max_batch_size=max_batch_size,
+        defaults=ServeDefaults(k=k, n_retrieve=n_retrieve),
+    )
+    # Fail fast on an unservable default route (unknown head or model,
+    # recommend without an index) instead of erroring every line.
+    router.batcher_for(name, head)
     summary = ServeSummary()
-    for line in input_stream:
-        line = line.strip()
+    for line_number, raw_line in enumerate(input_stream, start=1):
+        line = raw_line.strip()
         if not line:
             continue
         summary.lines += 1
+        envelope: Optional[Envelope] = None
         try:
-            payload = json.loads(line)
-            documents = payload if isinstance(payload, list) else [payload]
-            if head == RANK_TOPK_HEAD or head == RECOMMEND_HEAD:
-                if head == RANK_TOPK_HEAD:
-                    requests = parse_rank_requests(documents, default_k=k)
-                    results = batcher.rank_all(requests)
-                else:
-                    requests = parse_recommend_requests(
-                        documents, default_k=k, default_n_retrieve=n_retrieve
-                    )
-                    results = batcher.recommend_all(requests)
-                summary.rows += sum(len(result) for result in results)
-                rendered = [
-                    {"candidates": [int(c) for c in result.candidates],
-                     "scores": [float(s) for s in result.scores]}
-                    for result in results
-                ]
-                response = rendered[0] if not isinstance(payload, list) else {"results": rendered}
-            else:
-                scores = batcher.score_all(parse_requests(documents))
-                summary.rows += len(scores)
-                response = {"scores": [float(s) for s in scores]}
+            try:
+                document = json.loads(line)
+            except ValueError as error:
+                raise ProtocolError(ERR_BAD_JSON, f"invalid JSON: {error}") from None
+            envelope = parse_envelope(document, default_head=head,
+                                      default_model=name)
+            response, rows, _ = router.execute(envelope)
+        except ProtocolError as error:
+            summary.record_error(error.code)
+            response = _error_line(error.code, str(error), line_number, envelope)
         except (ValueError, KeyError, TypeError, IndexError, RuntimeError) as error:
-            summary.errors += 1
-            output_stream.write(json.dumps({"error": str(error)}) + "\n")
-            output_stream.flush()
-            continue
+            summary.record_error(ERR_EXECUTION)
+            response = _error_line(ERR_EXECUTION, str(error), line_number, envelope)
+        else:
+            summary.rows += rows
         output_stream.write(json.dumps(response) + "\n")
         output_stream.flush()
     return summary
+
+
+def _error_line(code: str, message: str, line_number: int,
+                envelope: Optional[Envelope]) -> dict:
+    request_id = envelope.request_id if envelope is not None else None
+    return error_response(code, message, line=line_number, request_id=request_id)

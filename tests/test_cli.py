@@ -106,6 +106,7 @@ class TestServingCommands:
         assert args.head == "score"
         assert args.max_batch_size == 256
         assert args.cache_capacity == 4096
+        assert args.cache_ttl is None
 
     def test_serving_parser_requires_checkpoint(self):
         with pytest.raises(SystemExit):
@@ -129,6 +130,49 @@ class TestServingCommands:
         payload = json.loads(output.read_text())
         assert len(payload["scores"]) == 2
         assert np.isfinite(payload["scores"]).all()
+
+    def test_serve_parser_accepts_update_head(self, checkpoint):
+        args = build_serving_parser("serve").parse_args(
+            ["--checkpoint", str(checkpoint), "--head", "update"]
+        )
+        assert args.head == "update"
+        with pytest.raises(SystemExit):
+            build_serving_parser("predict-batch").parse_args(
+                ["--checkpoint", str(checkpoint), "--requests", "r.json",
+                 "--head", "update"]
+            )
+
+    def test_serve_stream_envelopes_and_error_codes(self, checkpoint, capsys,
+                                                    monkeypatch):
+        """The serve subcommand speaks the v1 envelope protocol end to end:
+        per-line head routing, the stateful update head, structured errors
+        with codes in the operator summary."""
+        import io
+        import sys
+
+        lines = [
+            json.dumps({"static_indices": [1, 11], "history": [2, 3]}),   # v0
+            json.dumps({"v": 1, "head": "update",
+                        "payload": {"user_id": 1, "events": [4]}}),
+            json.dumps({"v": 1, "head": "classify", "id": 7,
+                        "payload": {"static_indices": [1, 11], "user_id": 1}}),
+            json.dumps({"v": 2, "payload": {}}),                          # error
+            "not json",                                                   # error
+        ]
+        monkeypatch.setattr(sys, "stdin", io.StringIO("\n".join(lines) + "\n"))
+        exit_code = main(["serve", "--checkpoint", str(checkpoint)])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        responses = [json.loads(line) for line in captured.out.splitlines()]
+        assert "scores" in responses[0]
+        assert responses[1]["result"] == {"user_id": 1, "appended": 1,
+                                          "history_len": 1}
+        assert responses[2]["head"] == "classify" and responses[2]["id"] == 7
+        assert responses[3]["error"]["code"] == "unsupported_version"
+        assert responses[4]["error"]["code"] == "bad_json"
+        assert "2 errors" in captured.err
+        assert "bad_json=1" in captured.err
+        assert "unsupported_version=1" in captured.err
 
 
 class TestTrainCommand:

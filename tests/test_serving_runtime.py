@@ -399,7 +399,11 @@ class TestService:
         responses = [json.loads(line) for line in output.getvalue().splitlines()]
         assert summary.rows == 1
         assert summary.errors == 1
-        assert "error" in responses[0] and "out of range" in responses[0]["error"]
+        assert summary.error_codes == {"execution_error": 1}
+        error = responses[0]["error"]
+        assert error["code"] == "execution_error"
+        assert error["line"] == 1
+        assert "out of range" in error["message"]
         assert len(responses[1]["scores"]) == 1
 
     def test_serve_jsonl_round_trip(self, model):
