@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := $(CURDIR)/src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-train bench-rank bench-retrieve bench-serve docs-check all
+.PHONY: test bench bench-train bench-rank bench-retrieve bench-serve bench-concurrency docs-check all
 
 # Tier-1 test suite (the acceptance gate for every PR).
 test:
@@ -37,6 +37,13 @@ bench-retrieve:
 # results/serving_protocol_overhead.txt).
 bench-serve:
 	$(PYTHON) -m pytest benchmarks/test_serving_throughput.py -q
+
+# Concurrent-serving benchmark only: the serial router loop vs the concurrent
+# runtime at several worker counts (+ cross-envelope coalescing) under
+# mixed-head traffic; reports p50/p99 latency and throughput, asserts byte
+# parity with the serial path (writes results/serving_concurrency.txt).
+bench-concurrency:
+	$(PYTHON) -m pytest benchmarks/test_serving_concurrency.py -q
 
 # Fail if the documented code blocks have drifted from the public API:
 # extracts and executes every ```python fence in the README and the

@@ -1,0 +1,206 @@
+"""Benchmark — the concurrent serving runtime under mixed-head traffic.
+
+The same JSONL stream (single-request scoring majority, rank-topk and
+recommend minorities — three heads, one model) is pushed through
+
+1. **serial** — the PR-5 :class:`~repro.serving.protocol.ServingRouter`
+   loop: parse, execute, respond, one line at a time;
+2. **concurrent** — :class:`~repro.serving.concurrent.ConcurrentServingRouter`
+   at several worker counts, default per-envelope execution (the
+   byte-parity mode);
+3. **concurrent+coalesce** — the opt-in cross-envelope batching mode:
+   consecutive same-(model, head) lines merge into shared micro-batches,
+   amortising the per-call engine overhead across request lines.
+
+Reported per mode: throughput (req/s) and per-request latency p50/p99.
+The speedup claim lives in the coalescing mode — merging single-request
+lines into ≤256-row batches is the PR-1 batching win applied across the
+wire, and it holds on any core count (it removes per-call overhead rather
+than relying on parallel BLAS).  Per-envelope concurrency adds dispatch
+overhead per line and only pays off with multicore BLAS underneath; it is
+measured and reported honestly, but the floor asserted for it is lenient
+because this harness may run on a single core.
+
+Acceptance (ISSUE 6): the results file carries p50/p99 latency and
+throughput for ≥2 worker counts, with a measured speedup over the serial
+router at batch-heavy load (the coalescing mode), and the concurrent
+responses are byte-identical to the serial ones.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import numpy as np
+
+from benchmarks.conftest import export_text, run_once
+from repro.core.config import SeqFMConfig
+from repro.core.model import SeqFM
+from repro.serving import ModelRegistry, ServingRouter, default_heads
+from repro.serving.concurrent import ConcurrentServingRouter
+from repro.serving.protocol import parse_envelope, render_response
+
+NUM_LINES = 1024
+MAX_BATCH = 256
+NUM_USERS = 64
+
+CONFIG = SeqFMConfig(static_vocab_size=512, dynamic_vocab_size=256, max_seq_len=20,
+                     embed_dim=32, ffn_layers=1, dropout=0.0, seed=0)
+CATALOG = list(range(NUM_USERS, NUM_USERS + 200))
+
+
+def _build_registry() -> ModelRegistry:
+    model = SeqFM(CONFIG)
+    rng = np.random.default_rng(1)
+    for parameter in model.parameters():
+        parameter.data += rng.normal(0.0, 0.1, parameter.data.shape)
+    model.dynamic_embedding.reset_padding()
+    registry = ModelRegistry()
+    registry.register("m", model)
+    registry.build_index("m", CATALOG, n_retrieve=32)
+    return registry
+
+
+def _build_lines() -> list:
+    """Mixed-head stream: 14/16 score (batch-heavy), 1/16 rank-topk, 1/16 recommend."""
+    rng = np.random.default_rng(0)
+    histories = {
+        user: [int(item) for item in rng.integers(1, CONFIG.dynamic_vocab_size,
+                                                  int(rng.integers(5, CONFIG.max_seq_len + 5)))]
+        for user in range(NUM_USERS)
+    }
+    lines = []
+    for index in range(NUM_LINES):
+        user = int(rng.integers(0, NUM_USERS))
+        static = [user, int(rng.integers(NUM_USERS, CONFIG.static_vocab_size))]
+        if index % 16 == 14:
+            document = {"v": 1, "head": "rank-topk", "id": f"r{index}",
+                        "payload": {"static_indices": static,
+                                    "candidates": [int(c) for c in
+                                                   rng.choice(CATALOG, size=8, replace=False)],
+                                    "history": histories[user], "k": 4,
+                                    "user_id": user}}
+        elif index % 16 == 15:
+            document = {"v": 1, "head": "recommend", "id": f"c{index}",
+                        "payload": {"static_indices": static,
+                                    "history": histories[user], "k": 4,
+                                    "n_retrieve": 16, "user_id": user}}
+        else:
+            document = {"v": 1, "head": "score", "id": f"s{index}",
+                        "payload": {"static_indices": static,
+                                    "history": histories[user], "user_id": user}}
+        lines.append(json.dumps(document))
+    return lines
+
+
+def _percentile(values, q) -> float:
+    return float(np.percentile(np.asarray(values, dtype=np.float64), q))
+
+
+def _run_serial(lines):
+    """The PR-5 serial loop, instrumented per line."""
+    router = ServingRouter(_build_registry(), default_model="m",
+                           max_batch_size=MAX_BATCH)
+    latencies, responses = [], {}
+    started = time.perf_counter()
+    for line in lines:
+        t0 = time.perf_counter()
+        envelope = parse_envelope(json.loads(line), default_head="score",
+                                  default_model="m")
+        body, _, _ = router.execute(envelope)
+        latencies.append(time.perf_counter() - t0)
+        responses[envelope.request_id] = json.dumps(body)
+    elapsed = time.perf_counter() - started
+    return elapsed, latencies, responses
+
+
+def _run_concurrent(lines, workers, coalesce=False):
+    """The concurrent router, latency measured admission → completion."""
+    router = ConcurrentServingRouter(
+        _build_registry(), default_model="m", max_batch_size=MAX_BATCH,
+        workers=workers, max_inflight=NUM_LINES, coalesce=coalesce)
+    latencies, responses = [], {}
+    lock = threading.Lock()
+    try:
+        started = time.perf_counter()
+        for number, line in enumerate(lines, start=1):
+            envelope = parse_envelope(json.loads(line), default_head="score",
+                                      default_model="m")
+            t0 = time.perf_counter()
+
+            def on_done(_number, done_envelope, body, _rows, code, t0=t0):
+                assert code is None, f"unexpected error: {body}"
+                with lock:
+                    latencies.append(time.perf_counter() - t0)
+                    responses[done_envelope.request_id] = json.dumps(body)
+
+            router.submit(envelope, number, on_done)
+        router.drain()
+        elapsed = time.perf_counter() - started
+    finally:
+        router.close()
+    return elapsed, latencies, responses
+
+
+def test_concurrent_serving_latency_and_throughput(benchmark):
+    lines = _build_lines()
+
+    def measure():
+        _run_serial(lines[:64])  # warm-up: imports, caches, allocator
+        results = {"serial": _run_serial(lines)}
+        for workers in (2, 4):
+            results[f"workers={workers}"] = _run_concurrent(lines, workers)
+        results["workers=2+coalesce"] = _run_concurrent(lines, 2, coalesce=True)
+        return results
+
+    results = run_once(benchmark, measure)
+
+    serial_elapsed, _, serial_responses = results["serial"]
+    serial_rps = NUM_LINES / serial_elapsed
+    report_lines = [
+        f"Concurrent serving, {NUM_LINES} mixed-head lines "
+        f"(score/rank-topk/recommend, d={CONFIG.embed_dim}, "
+        f"n˙={CONFIG.max_seq_len}, batch≤{MAX_BATCH}):",
+        f"  {'mode':20s} {'req/s':>9s} {'p50 ms':>9s} {'p99 ms':>9s} {'vs serial':>10s}",
+    ]
+    for mode, (elapsed, latencies, _) in results.items():
+        rps = NUM_LINES / elapsed
+        report_lines.append(
+            f"  {mode:20s} {rps:9.0f} {_percentile(latencies, 50) * 1e3:9.2f} "
+            f"{_percentile(latencies, 99) * 1e3:9.2f} {rps / serial_rps:9.2f}x")
+    report = "\n".join(report_lines)
+    print("\n" + report)
+    export_text("serving_concurrency", report)
+
+    # Parity: per-envelope concurrent modes are byte-identical to serial.
+    for mode in ("workers=2", "workers=4"):
+        _, _, responses = results[mode]
+        assert set(responses) == set(serial_responses)
+        mismatched = [key for key in serial_responses
+                      if responses[key] != serial_responses[key]]
+        assert not mismatched, f"{mode}: {len(mismatched)} responses diverged"
+
+    # Coalescing must agree numerically (merged BLAS batches reorder the
+    # reductions) and answer every line.
+    _, _, coalesced = results["workers=2+coalesce"]
+    assert set(coalesced) == set(serial_responses)
+    for key, serial_line in serial_responses.items():
+        expected, actual = json.loads(serial_line), json.loads(coalesced[key])
+        if "result" in expected and "score" in expected["result"]:
+            assert abs(actual["result"]["score"] - expected["result"]["score"]) < 1e-9
+        else:
+            assert actual == expected  # list heads stay byte-identical
+
+    # ISSUE acceptance: measured speedup over the serial router at
+    # batch-heavy load — the coalescing mode's reason to exist.
+    coalesced_rps = NUM_LINES / results["workers=2+coalesce"][0]
+    assert coalesced_rps >= 1.1 * serial_rps, (
+        f"coalesced serving only {coalesced_rps / serial_rps:.2f}x serial")
+    # Per-envelope concurrency pays a dispatch tax per line and cannot beat
+    # serial without multicore BLAS; it must stay within a sane envelope of
+    # the serial loop rather than collapse (lenient: shared CI runners).
+    for mode in ("workers=2", "workers=4"):
+        rps = NUM_LINES / results[mode][0]
+        assert rps >= 0.2 * serial_rps, f"{mode} collapsed to {rps:.0f} req/s"

@@ -286,6 +286,28 @@ def build_serving_parser(command: str) -> argparse.ArgumentParser:
                         help="seconds before a stored user sequence expires "
                              "(default: never; bounds update-head state "
                              "staleness)")
+    if command == "serve":
+        parser.add_argument("--workers", type=int, default=None,
+                            help="serve through the concurrent runtime with "
+                                 "this many workers (default: serial loop)")
+        parser.add_argument("--max-inflight", type=int, default=None,
+                            help="admission-control budget: requests in flight "
+                                 "before new lines are rejected with a "
+                                 "structured 'overloaded' error (default: "
+                                 "32 x workers)")
+        parser.add_argument("--shards", type=int, default=1,
+                            help="consistent-hash shards of the user-sequence "
+                                 "store, each independently locked "
+                                 "(default: 1, unsharded)")
+        parser.add_argument("--worker-timeout", type=float, default=None,
+                            help="per-request deadline in seconds; expired "
+                                 "requests get a structured 'timeout' error "
+                                 "(default: none)")
+        parser.add_argument("--coalesce", action="store_true",
+                            help="merge consecutive same-(model, head) lines "
+                                 "into shared micro-batches (scoring heads "
+                                 "trade byte-for-byte parity with the serial "
+                                 "loop for throughput)")
     if command in ("serve", "rank-topk", "recommend"):
         parser.add_argument("--k", type=int, default=None,
                             help="default top-K cut for ranking/recommendation "
@@ -357,6 +379,7 @@ def run_serving(command: str, argv: List[str]) -> int:
     head-specific.
     """
     from repro.serving import ModelRegistry, default_heads
+    from repro.serving.concurrent import serve_concurrent_jsonl
     from repro.serving.protocol import cache_stats_payload, cache_summary
     from repro.serving.service import execute_batch, serve_jsonl
 
@@ -364,8 +387,13 @@ def run_serving(command: str, argv: List[str]) -> int:
     if not args.checkpoint.exists():
         print(f"error: checkpoint not found: {args.checkpoint}", file=sys.stderr)
         return 2
+    workers = getattr(args, "workers", None)
+    if workers is not None and workers < 1:
+        print("error: --workers must be positive", file=sys.stderr)
+        return 2
     registry = ModelRegistry(cache_capacity=args.cache_capacity,
-                             cache_ttl=args.cache_ttl)
+                             cache_ttl=args.cache_ttl,
+                             cache_shards=getattr(args, "shards", 1))
     try:
         registry.load("default", args.checkpoint)
     except (ValueError, KeyError, OSError, zipfile.BadZipFile) as error:
@@ -413,9 +441,17 @@ def run_serving(command: str, argv: List[str]) -> int:
         return 0
 
     try:
-        summary = serve_jsonl(registry, "default", sys.stdin, sys.stdout,
-                              head=head, max_batch_size=args.max_batch_size,
-                              k=args.k, n_retrieve=getattr(args, "n_retrieve", None))
+        if workers is not None:
+            summary = serve_concurrent_jsonl(
+                registry, "default", sys.stdin, sys.stdout,
+                head=head, max_batch_size=args.max_batch_size,
+                k=args.k, n_retrieve=getattr(args, "n_retrieve", None),
+                workers=workers, max_inflight=args.max_inflight,
+                timeout=args.worker_timeout, coalesce=args.coalesce)
+        else:
+            summary = serve_jsonl(registry, "default", sys.stdin, sys.stdout,
+                                  head=head, max_batch_size=args.max_batch_size,
+                                  k=args.k, n_retrieve=getattr(args, "n_retrieve", None))
     except (ValueError, KeyError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

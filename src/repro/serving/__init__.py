@@ -25,6 +25,18 @@ production-facing inference layer of the reproduction:
   model routing via :class:`~repro.serving.protocol.ServingRouter`, and
   the stateful ``update`` head that closes the online
   recommend → click → update → recommend loop.
+* :mod:`repro.serving.concurrent` — the concurrent runtime over the same
+  protocol: :class:`~repro.serving.concurrent.ConcurrentServingRouter`
+  dispatches (model, head) micro-batches to a worker pool (thread pool by
+  default, per-model process-pool fallback) with admission control
+  (structured ``overloaded`` backpressure), per-request deadlines
+  (structured ``timeout``), opt-in cross-envelope coalescing, and barrier
+  semantics that keep stateful traffic sequentially consistent — responses
+  stay byte-identical to the serial router, re-keyed by envelope ``id``.
+  The sequence store scales with it:
+  :class:`~repro.serving.cache.ShardedUserSequenceStore` consistent-hashes
+  users over independently locked shards with per-shard
+  ``snapshot()``/``restore()`` for shard moves and replay.
 
 The engine additionally exposes the **candidate ranking fast path**
 (:meth:`~repro.serving.engine.InferenceEngine.rank_candidates`): C candidates
@@ -81,7 +93,17 @@ from repro.serving.batcher import (
     RecommendRequest,
     ScoreRequest,
 )
-from repro.serving.cache import CacheStats, LRUCache, UserSequenceStore
+from repro.serving.cache import (
+    CacheStats,
+    HashRing,
+    LRUCache,
+    ShardedUserSequenceStore,
+    UserSequenceStore,
+)
+from repro.serving.concurrent import (
+    ConcurrentServingRouter,
+    serve_concurrent_jsonl,
+)
 from repro.serving.engine import InferenceEngine, RankingPlan
 from repro.serving.protocol import (
     ERROR_CODES,
@@ -113,8 +135,10 @@ from repro.serving.service import (
 __all__ = [
     "BatcherStats",
     "CacheStats",
+    "ConcurrentServingRouter",
     "ERROR_CODES",
     "Envelope",
+    "HashRing",
     "Head",
     "HeadRegistry",
     "InferenceEngine",
@@ -133,6 +157,7 @@ __all__ = [
     "ServeDefaults",
     "ServeSummary",
     "ServingRouter",
+    "ShardedUserSequenceStore",
     "UpdateRequest",
     "UserSequenceStore",
     "default_heads",
@@ -145,5 +170,6 @@ __all__ = [
     "predict_batch",
     "rank_topk_batch",
     "recommend_batch",
+    "serve_concurrent_jsonl",
     "serve_jsonl",
 ]

@@ -8,14 +8,41 @@ so the padded encoding is highly reusable.  :class:`UserSequenceStore` keeps
 the most recently used encodings behind an exact fingerprint check: a cached
 entry is reused only when the relevant suffix of the history is unchanged, so
 the cache can never serve a stale sequence.
+
+For the concurrent runtime (:mod:`repro.serving.concurrent`) the store grows
+two capabilities:
+
+* every :class:`UserSequenceStore` is **thread-safe** — one lock guards the
+  LRU map and its counters, so worker threads may encode, record and expire
+  entries concurrently without corrupting state;
+* :class:`ShardedUserSequenceStore` splits the user population over N
+  independent shards by **consistent hashing** (:class:`HashRing`), so lock
+  contention scales down with the shard count and a shard can be detached,
+  snapshotted and replayed on another server (:meth:`snapshot` /
+  :meth:`restore` / :meth:`remove_shard` / :meth:`add_shard`).
 """
 
 from __future__ import annotations
 
+import hashlib
+import threading
 import time
+from bisect import bisect_right
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Callable, Generic, Hashable, Iterable, Optional, Sequence, Tuple, TypeVar
+from typing import (
+    Callable,
+    Dict,
+    Generic,
+    Hashable,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+    Union,
+)
 
 import numpy as np
 
@@ -92,6 +119,10 @@ class LRUCache(Generic[K, V]):
         """Keys in LRU → MRU order (oldest first)."""
         return list(self._entries.keys())
 
+    def items(self):
+        """``(key, value)`` pairs in LRU → MRU order (oldest first)."""
+        return list(self._entries.items())
+
 
 @dataclass
 class _CachedSequence:
@@ -134,6 +165,12 @@ class UserSequenceStore:
     :meth:`history` reads the stored suffix back for requests that omit
     their history.
 
+    The store is **thread-safe**: one reentrant lock guards the LRU map and
+    every counter, so the worker pool of the concurrent serving runtime may
+    hit one store from many threads.  Returned arrays are never mutated in
+    place (updates replace whole entries), so callers may keep using them
+    after the lock is released.
+
     The store is **last-writer-wins**: a request carrying an explicit history
     re-encodes and *replaces* the user's stored suffix (that is how read
     traffic seeds the server-side state the ``update`` head extends — the
@@ -160,19 +197,27 @@ class UserSequenceStore:
         self._hits = 0
         self._misses = 0
         self._expired = 0
+        self._lock = threading.RLock()
         self._cache: LRUCache[int, _CachedSequence] = LRUCache(capacity)
+
+    @property
+    def capacity(self) -> int:
+        return self._cache.capacity
 
     @property
     def stats(self) -> CacheStats:
         """Store-level counters: a *hit* requires the fingerprint to match."""
-        return CacheStats(hits=self._hits, misses=self._misses,
-                          evictions=self._cache.stats.evictions + self._expired)
+        with self._lock:
+            return CacheStats(hits=self._hits, misses=self._misses,
+                              evictions=self._cache.stats.evictions + self._expired)
 
     def __len__(self) -> int:
-        return len(self._cache)
+        with self._lock:
+            return len(self._cache)
 
     def __contains__(self, user_id: int) -> bool:
-        return self._peek(user_id) is not None
+        with self._lock:
+            return self._peek(user_id) is not None
 
     def _peek(self, user_id: int) -> Optional[_CachedSequence]:
         """The live cached entry, dropping (and counting) TTL-expired ones."""
@@ -193,14 +238,15 @@ class UserSequenceStore:
         :func:`repro.data.batching.pad_sequences` call.
         """
         fingerprint = tuple(int(item) for item in list(history)[-self.max_seq_len:])
-        cached = self._peek(user_id)
-        if cached is not None and cached.fingerprint == fingerprint:
-            self._hits += 1
-            return cached.indices, cached.mask
-        self._misses += 1
-        entry = self._encode_entry(fingerprint)
-        self._cache.put(user_id, entry)
-        return entry.indices, entry.mask
+        with self._lock:
+            cached = self._peek(user_id)
+            if cached is not None and cached.fingerprint == fingerprint:
+                self._hits += 1
+                return cached.indices, cached.mask
+            self._misses += 1
+            entry = self._encode_entry(fingerprint)
+            self._cache.put(user_id, entry)
+            return entry.indices, entry.mask
 
     def encode_stored(self, user_id: int) -> Tuple[np.ndarray, np.ndarray]:
         """Padded ``(indices, mask)`` of the stored suffix (empty when cold).
@@ -211,13 +257,14 @@ class UserSequenceStore:
         a miss) *without* seeding an entry, so a sweep of cold reads can
         never evict warm users' accumulated ``update``-head state.
         """
-        cached = self._peek(user_id)
-        if cached is not None:
-            self._hits += 1
-            return cached.indices, cached.mask
-        self._misses += 1
-        entry = self._encode_entry(())
-        return entry.indices, entry.mask
+        with self._lock:
+            cached = self._peek(user_id)
+            if cached is not None:
+                self._hits += 1
+                return cached.indices, cached.mask
+            self._misses += 1
+            entry = self._encode_entry(())
+            return entry.indices, entry.mask
 
     def history(self, user_id: int) -> Optional[Tuple[int, ...]]:
         """The stored visible history suffix, or ``None`` for cold users.
@@ -225,16 +272,18 @@ class UserSequenceStore:
         This is what requests that omit their history are answered against
         (the v1-envelope "server-side sequence" semantic).
         """
-        cached = self._peek(user_id)
-        return cached.fingerprint if cached is not None else None
+        with self._lock:
+            cached = self._peek(user_id)
+            return cached.fingerprint if cached is not None else None
 
     def append_event(self, user_id: int, dynamic_index: int) -> None:
         """Extend a cached user's history by one event (no-op on cold users)."""
-        cached = self._peek(user_id)
-        if cached is None:
-            return
-        suffix = (cached.fingerprint + (int(dynamic_index),))[-self.max_seq_len:]
-        self._cache.put(user_id, self._encode_entry(suffix))
+        with self._lock:
+            cached = self._peek(user_id)
+            if cached is None:
+                return
+            suffix = (cached.fingerprint + (int(dynamic_index),))[-self.max_seq_len:]
+            self._cache.put(user_id, self._encode_entry(suffix))
 
     def record(self, user_id: int, events: Iterable[int]) -> _CachedSequence:
         """Append ``events`` to a user's stored sequence, creating it if cold.
@@ -244,12 +293,13 @@ class UserSequenceStore:
         never seen, so the online loop works from the first interaction.
         Returns the updated entry (its ``fingerprint`` is the new suffix).
         """
-        cached = self._peek(user_id)
-        base = cached.fingerprint if cached is not None else ()
-        suffix = (base + tuple(int(event) for event in events))[-self.max_seq_len:]
-        entry = self._encode_entry(suffix)
-        self._cache.put(user_id, entry)
-        return entry
+        with self._lock:
+            cached = self._peek(user_id)
+            base = cached.fingerprint if cached is not None else ()
+            suffix = (base + tuple(int(event) for event in events))[-self.max_seq_len:]
+            entry = self._encode_entry(suffix)
+            self._cache.put(user_id, entry)
+            return entry
 
     def _encode_entry(self, fingerprint: Tuple[int, ...]) -> _CachedSequence:
         indices, mask = pad_sequences([fingerprint], self.max_seq_len, PADDING_INDEX)
@@ -258,7 +308,306 @@ class UserSequenceStore:
 
     def invalidate(self, user_id: int) -> None:
         """Drop a user's cached encoding."""
-        self._cache.pop(user_id)
+        with self._lock:
+            self._cache.pop(user_id)
 
     def clear(self) -> None:
-        self._cache.clear()
+        with self._lock:
+            self._cache.clear()
+
+    # ------------------------------------------------------------------ #
+    # Snapshot / restore (shard migration and replay)
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> dict:
+        """A JSON-safe copy of the resident state, oldest entry first.
+
+        Captures each user's visible suffix and its TTL stamp in LRU → MRU
+        order, so :meth:`restore` reproduces both the sequences *and* the
+        eviction/expiry order exactly — the contract that lets a shard be
+        moved to another process or replayed after a crash.  Counters
+        (hits/misses/evictions) are runtime telemetry, not state, and are
+        not captured.
+        """
+        with self._lock:
+            return {
+                "max_seq_len": self.max_seq_len,
+                "capacity": self._cache.capacity,
+                "ttl": self.ttl,
+                "entries": [
+                    [user_id, list(entry.fingerprint), entry.stamp]
+                    for user_id, entry in self._cache.items()
+                ],
+            }
+
+    def restore(self, snapshot: dict) -> None:
+        """Replace the resident state with a :meth:`snapshot`'s contents.
+
+        The snapshot must have been taken at the same ``max_seq_len`` —
+        restoring sequences padded for a different model geometry would
+        silently corrupt every encoding, so it raises instead.
+        """
+        if snapshot.get("max_seq_len") != self.max_seq_len:
+            raise ValueError(
+                f"snapshot was taken at max_seq_len={snapshot.get('max_seq_len')}, "
+                f"this store encodes at {self.max_seq_len}"
+            )
+        with self._lock:
+            self._cache.clear()
+            for user_id, fingerprint, stamp in snapshot.get("entries", []):
+                entry = self._encode_entry(tuple(int(item) for item in fingerprint))
+                entry.stamp = float(stamp)
+                self._cache.put(int(user_id), entry)
+
+
+# --------------------------------------------------------------------------- #
+# Consistent hashing and the sharded store
+# --------------------------------------------------------------------------- #
+class HashRing:
+    """Consistent hashing: keys → shard ids, stable under membership change.
+
+    Each shard contributes ``replicas`` deterministic points (BLAKE2b of
+    ``"shard:<id>:<replica>"``) on a 64-bit ring; a key belongs to the first
+    shard point clockwise of its own hash.  The property the sharded store
+    leans on: adding or removing one shard only remaps the keys on the arcs
+    that shard gains or loses — every other key keeps its assignment, so a
+    resize never invalidates the whole population.  Hashes are content-based
+    (never Python's seeded ``hash()``), so assignments agree across
+    processes and runs.
+    """
+
+    def __init__(self, shard_ids: Iterable[Hashable] = (), replicas: int = 64):
+        if replicas < 1:
+            raise ValueError("replicas must be positive")
+        self.replicas = replicas
+        self._points: List[Tuple[int, Hashable]] = []
+        self._hashes: List[int] = []
+        for shard_id in shard_ids:
+            self.add(shard_id)
+
+    @staticmethod
+    def _hash(token: str) -> int:
+        digest = hashlib.blake2b(token.encode("utf-8"), digest_size=8).digest()
+        return int.from_bytes(digest, "big")
+
+    def _shard_points(self, shard_id: Hashable) -> List[Tuple[int, Hashable]]:
+        return [(self._hash(f"shard:{shard_id}:{replica}"), shard_id)
+                for replica in range(self.replicas)]
+
+    def add(self, shard_id: Hashable) -> None:
+        if shard_id in self:
+            raise ValueError(f"shard {shard_id!r} is already on the ring")
+        self._points.extend(self._shard_points(shard_id))
+        self._points.sort(key=lambda point: point[0])
+        self._hashes = [point for point, _ in self._points]
+
+    def remove(self, shard_id: Hashable) -> None:
+        if shard_id not in self:
+            raise KeyError(f"shard {shard_id!r} is not on the ring")
+        self._points = [point for point in self._points if point[1] != shard_id]
+        self._hashes = [point for point, _ in self._points]
+
+    def shard_for(self, key: Hashable) -> Hashable:
+        """The shard owning ``key`` (first point clockwise of the key hash)."""
+        if not self._points:
+            raise ValueError("the ring has no shards")
+        point = self._hash(f"key:{key}")
+        index = bisect_right(self._hashes, point)
+        return self._points[index % len(self._points)][1]
+
+    def shard_ids(self) -> Tuple[Hashable, ...]:
+        return tuple(sorted({shard_id for _, shard_id in self._points},
+                            key=lambda shard_id: str(shard_id)))
+
+    def __contains__(self, shard_id: Hashable) -> bool:
+        return any(existing == shard_id for _, existing in self._points)
+
+    def __len__(self) -> int:
+        return len(self.shard_ids())
+
+
+class ShardedUserSequenceStore:
+    """A :class:`UserSequenceStore` split over N shards by consistent hashing.
+
+    Drop-in for the single store (same ``encode`` / ``encode_stored`` /
+    ``history`` / ``append_event`` / ``record`` / ``stats`` surface — the
+    micro-batcher and the ``update`` head cannot tell them apart), with three
+    scaling properties the single store lacks:
+
+    * **independent locks** — each shard is its own thread-safe store, so
+      concurrent workers touching different shards never contend;
+    * **stable placement** — :class:`HashRing` assignment means a shard
+      add/remove only remaps the keys whose arcs actually moved
+      (property-tested), not the whole population;
+    * **mobility** — :meth:`snapshot`/:meth:`restore` round-trip a shard's
+      (or the whole store's) state exactly, and :meth:`remove_shard` returns
+      the detached shard's snapshot so it can be re-homed or replayed.
+
+    ``capacity`` is the total resident-user budget, divided evenly across
+    shards (each shard runs its own LRU); ``ttl`` applies per shard with
+    exactly the single-store expiry semantics.
+    """
+
+    def __init__(
+        self,
+        max_seq_len: int,
+        capacity: int = 4096,
+        ttl: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+        shards: Union[int, Sequence[Hashable]] = 4,
+        replicas: int = 64,
+    ):
+        if isinstance(shards, int):
+            if shards < 1:
+                raise ValueError("shards must be positive")
+            shard_ids: Sequence[Hashable] = list(range(shards))
+        else:
+            shard_ids = list(shards)
+            if not shard_ids:
+                raise ValueError("at least one shard id is required")
+            if len(set(shard_ids)) != len(shard_ids):
+                raise ValueError("shard ids must be unique")
+        self.max_seq_len = max_seq_len
+        self.ttl = ttl
+        self.capacity = capacity
+        self._clock = clock
+        self._replicas = replicas
+        self._lock = threading.RLock()  # guards topology, not per-shard state
+        self._shards: Dict[Hashable, UserSequenceStore] = {}
+        self._ring = HashRing(replicas=replicas)
+        for shard_id in shard_ids:
+            self._ring.add(shard_id)
+            self._shards[shard_id] = self._make_shard(len(shard_ids))
+
+    def _make_shard(self, num_shards: int) -> UserSequenceStore:
+        per_shard = max(1, -(-self.capacity // max(1, num_shards)))  # ceil div
+        return UserSequenceStore(self.max_seq_len, capacity=per_shard,
+                                 ttl=self.ttl, clock=self._clock)
+
+    # ------------------------------------------------------------------ #
+    # Placement
+    # ------------------------------------------------------------------ #
+    def shard_for(self, user_id: int) -> Hashable:
+        """The shard id owning ``user_id`` under the current topology."""
+        with self._lock:
+            return self._ring.shard_for(int(user_id))
+
+    def shard_ids(self) -> Tuple[Hashable, ...]:
+        with self._lock:
+            return self._ring.shard_ids()
+
+    def _store(self, user_id: int) -> UserSequenceStore:
+        with self._lock:
+            return self._shards[self._ring.shard_for(int(user_id))]
+
+    # ------------------------------------------------------------------ #
+    # UserSequenceStore surface (delegated to the owning shard)
+    # ------------------------------------------------------------------ #
+    def encode(self, user_id: int, history: Sequence[int]) -> Tuple[np.ndarray, np.ndarray]:
+        return self._store(user_id).encode(user_id, history)
+
+    def encode_stored(self, user_id: int) -> Tuple[np.ndarray, np.ndarray]:
+        return self._store(user_id).encode_stored(user_id)
+
+    def history(self, user_id: int) -> Optional[Tuple[int, ...]]:
+        return self._store(user_id).history(user_id)
+
+    def append_event(self, user_id: int, dynamic_index: int) -> None:
+        self._store(user_id).append_event(user_id, dynamic_index)
+
+    def record(self, user_id: int, events: Iterable[int]) -> _CachedSequence:
+        return self._store(user_id).record(user_id, events)
+
+    def invalidate(self, user_id: int) -> None:
+        self._store(user_id).invalidate(user_id)
+
+    def clear(self) -> None:
+        with self._lock:
+            shards = list(self._shards.values())
+        for shard in shards:
+            shard.clear()
+
+    @property
+    def stats(self) -> CacheStats:
+        """Counters summed across shards (one logical store to operators)."""
+        with self._lock:
+            shards = list(self._shards.values())
+        merged = CacheStats()
+        for shard in shards:
+            stats = shard.stats
+            merged.hits += stats.hits
+            merged.misses += stats.misses
+            merged.evictions += stats.evictions
+        return merged
+
+    def __len__(self) -> int:
+        with self._lock:
+            shards = list(self._shards.values())
+        return sum(len(shard) for shard in shards)
+
+    def __contains__(self, user_id: int) -> bool:
+        return user_id in self._store(user_id)
+
+    # ------------------------------------------------------------------ #
+    # Topology changes and shard mobility
+    # ------------------------------------------------------------------ #
+    def add_shard(self, shard_id: Hashable,
+                  snapshot: Optional[dict] = None) -> None:
+        """Bring a new shard online (optionally pre-seeded from a snapshot).
+
+        Keys whose ring arcs the new shard takes over will miss until their
+        next explicit-history request (or a restore): consistent hashing
+        bounds the churn to exactly those keys.
+        """
+        with self._lock:
+            self._ring.add(shard_id)
+            shard = self._make_shard(len(self._ring))
+            if snapshot is not None:
+                shard.restore(snapshot)
+            self._shards[shard_id] = shard
+
+    def remove_shard(self, shard_id: Hashable) -> dict:
+        """Detach a shard; returns its snapshot so it can be moved/replayed.
+
+        At least one shard must remain.  Keys the departed shard owned remap
+        to the survivors (and miss until re-seeded); every other key keeps
+        its shard — that stability is the point of the hash ring.
+        """
+        with self._lock:
+            if len(self._ring) <= 1:
+                raise ValueError("cannot remove the last shard")
+            self._ring.remove(shard_id)
+            shard = self._shards.pop(shard_id)
+        return shard.snapshot()
+
+    def snapshot(self, shard_id: Optional[Hashable] = None) -> dict:
+        """Snapshot one shard (``shard_id``) or the whole store (``None``)."""
+        with self._lock:
+            if shard_id is not None:
+                return self._shards[shard_id].snapshot()
+            return {
+                "max_seq_len": self.max_seq_len,
+                "ttl": self.ttl,
+                "shards": {shard_id: shard.snapshot()
+                           for shard_id, shard in self._shards.items()},
+            }
+
+    def restore(self, snapshot: dict,
+                shard_id: Optional[Hashable] = None) -> None:
+        """Restore one shard (``shard_id``) or the whole store (``None``).
+
+        A whole-store snapshot must cover exactly the current shard ids —
+        restoring a 4-shard snapshot into a 3-shard store would silently
+        drop a shard's users, so it raises instead.
+        """
+        with self._lock:
+            if shard_id is not None:
+                self._shards[shard_id].restore(snapshot)
+                return
+            missing = set(snapshot.get("shards", {})) ^ set(self._shards)
+            if missing:
+                raise ValueError(
+                    f"snapshot shard ids do not match the store's "
+                    f"(difference: {sorted(missing, key=str)})"
+                )
+            for key, shard_snapshot in snapshot["shards"].items():
+                self._shards[key].restore(shard_snapshot)

@@ -1,0 +1,614 @@
+"""The concurrent serving runtime: worker pools, backpressure, deadlines.
+
+:mod:`repro.serving.protocol` gave the server one seam — the
+:class:`~repro.serving.protocol.ServingRouter` that turns a mixed stream into
+(model, head) micro-batches.  This module puts a worker pool behind that seam:
+
+* :class:`ConcurrentServingRouter` — envelopes are validated, parsed and
+  admitted on the dispatcher thread, then executed on a
+  ``ThreadPoolExecutor`` (the NumPy kernels release the GIL inside BLAS, so
+  threads scale on multicore hosts), with a **process-pool fallback
+  selectable per model** for workloads that stay GIL-bound.  Each worker
+  borrows a per-(model, head) :class:`~repro.serving.batcher.MicroBatcher`
+  from a pool, so same-group traffic keeps its batching behaviour without
+  sharing mutable state across threads.
+
+* **Byte parity with the serial router.**  By default every envelope is
+  executed exactly as :meth:`ServingRouter.execute` would — same batch
+  composition, same store semantics — so for any request stream the
+  concurrent responses, re-keyed by envelope ``id``, are byte-identical to
+  the serial ones (stress-tested at several worker counts).  Stateful
+  traffic (the ``update`` head, and any request reading the server-side
+  sequence) executes under a **barrier**: the dispatcher drains in-flight
+  work, applies the stateful envelope inline, then resumes — sequential
+  consistency for state, full concurrency for everything else.
+
+* **Coalescing** (opt-in, ``coalesce=True``) — consecutive stateless
+  envelopes for the same (model, head) merge into shared micro-batches up
+  to ``max_batch_size`` (flushed by size or a ``linger`` deadline).  This
+  is the batch-amortisation win of PR 1 applied *across* request lines; for
+  the scoring heads it trades byte-identity for throughput (results agree
+  to ~1e-12 — BLAS blocking differs with batch shape), which is why it is
+  not the default.  The list heads (``rank-topk`` / ``recommend``) execute
+  per request even inside a merged batch, so they stay byte-identical.
+
+* **Admission control with backpressure** — a bounded in-flight budget
+  (``max_inflight``); excess load is rejected *immediately* with a
+  structured ``overloaded`` error (:data:`~repro.serving.protocol.ERR_OVERLOADED`)
+  counted in :class:`~repro.serving.service.ServeSummary.error_codes`,
+  instead of queueing without bound until latency collapses.
+
+* **Deadlines** — with ``timeout`` set, a request that has not completed
+  within its deadline is answered with a structured ``timeout`` error and
+  the stream keeps flowing; a stuck worker can delay its own batch, never
+  the server.
+
+:func:`serve_concurrent_jsonl` is the streaming front-end over all of it —
+the drop-in concurrent sibling of :func:`repro.serving.service.serve_jsonl`,
+exposed on the CLI as ``serve --workers N [--max-inflight M] [--shards S]``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import IO, Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.serving.protocol import (
+    ERR_BAD_JSON,
+    ERR_EXECUTION,
+    ERR_OVERLOADED,
+    ERR_TIMEOUT,
+    ERR_UNKNOWN_MODEL,
+    Envelope,
+    Head,
+    HeadRegistry,
+    ProtocolError,
+    ServeDefaults,
+    ServingRouter,
+    default_heads,
+    error_response,
+    parse_envelope,
+    render_response,
+)
+from repro.serving.service import ServeSummary
+
+#: Heads a process-pool worker can answer from a checkpoint alone: pure model
+#: math, no attached index and no server-side sequence state.  Heads outside
+#: this set (``recommend`` needs the parent's item index, ``update`` the
+#: parent's store) transparently stay on the thread pool.
+PROCESS_SAFE_HEADS = frozenset({"score", "rank", "classify", "regress", "rank-topk"})
+
+#: Completion callback: (line_number, envelope, response_body, rows, error_code).
+#: ``error_code`` is ``None`` for a successful response.
+CompletionFn = Callable[[int, Envelope, dict, int, Optional[str]], None]
+
+
+class _Pending:
+    """One admitted envelope awaiting its response.
+
+    ``claim()`` arbitrates between a worker delivering the real response and
+    the deadline sweep delivering a timeout — exactly one side wins, the
+    other becomes a no-op, so a late worker can never double-answer a line.
+    """
+
+    __slots__ = ("line", "envelope", "head", "requests", "deadline", "on_done",
+                 "event", "_claimed", "_lock")
+
+    def __init__(self, line: int, envelope: Envelope, head: Head,
+                 requests: List, deadline: Optional[float],
+                 on_done: CompletionFn):
+        self.line = line
+        self.envelope = envelope
+        self.head = head
+        self.requests = requests
+        self.deadline = deadline
+        self.on_done = on_done
+        self.event = threading.Event()
+        self._claimed = False
+        self._lock = threading.Lock()
+
+    def claim(self) -> bool:
+        with self._lock:
+            if self._claimed:
+                return False
+            self._claimed = True
+            return True
+
+
+@dataclass
+class _Group:
+    """Buffered same-(model, head) envelopes awaiting a coalesced flush."""
+
+    items: List[_Pending] = field(default_factory=list)
+    created: float = 0.0
+    size: int = 0  # total buffered requests across items
+
+
+# --------------------------------------------------------------------------- #
+# Process-pool worker (module level: must be picklable by reference)
+# --------------------------------------------------------------------------- #
+_PROCESS_REGISTRIES: Dict[str, Any] = {}
+
+
+def _process_execute(checkpoint: str, head_name: str, requests: Tuple,
+                     max_batch_size: int) -> List:
+    """Answer one micro-batch inside a pool process.
+
+    The checkpoint is loaded once per (process, path) and cached; request
+    objects and results are plain dataclasses/floats/arrays, so only small
+    self-contained values cross the process boundary.  Stored-history state
+    never reaches this function — stateful traffic executes inline in the
+    parent, whose write-log replay keeps the parent store authoritative.
+    """
+    from repro.serving.registry import ModelRegistry
+
+    registry = _PROCESS_REGISTRIES.get(checkpoint)
+    if registry is None:
+        registry = ModelRegistry()
+        registry.load("worker", checkpoint)
+        _PROCESS_REGISTRIES[checkpoint] = registry
+    entry = registry.get("worker")
+    head = default_heads().get(head_name)
+    batcher = entry.batcher(max_batch_size=max_batch_size, head=head_name)
+    return head.execute(batcher, list(requests))
+
+
+# --------------------------------------------------------------------------- #
+# The concurrent router
+# --------------------------------------------------------------------------- #
+class ConcurrentServingRouter(ServingRouter):
+    """Dispatch (model, head) micro-batches from a stream to a worker pool.
+
+    Parameters (beyond :class:`ServingRouter`)
+    ------------------------------------------
+    workers:
+        Worker threads (and, for process-mode models, worker processes).
+    max_inflight:
+        Admission-control budget: envelopes admitted but not yet answered.
+        Submissions beyond it raise a structured ``overloaded``
+        :class:`ProtocolError` (the backpressure signal).  ``None`` derives
+        ``32 × workers``.
+    timeout:
+        Per-envelope deadline in seconds, measured from admission.  Expired
+        envelopes are answered with a structured ``timeout`` error by
+        :meth:`sweep_timeouts` / :meth:`drain`; the worker's late result is
+        discarded.  ``None`` never expires.
+    coalesce:
+        Merge consecutive stateless same-(model, head) envelopes into shared
+        micro-batches (see the module docstring for the parity trade).
+    linger:
+        Maximum seconds a coalesced batch may wait for company before it is
+        flushed undersized.
+    executors:
+        Per-model executor kind: ``{"model_name": "thread" | "process"}``.
+        Process-mode models must have been loaded from a checkpoint (the
+        pool worker reloads it); heads outside :data:`PROCESS_SAFE_HEADS`
+        stay on the thread pool.
+
+    Thread contract: :meth:`submit`, :meth:`drain` and :meth:`close` are
+    called from one dispatcher thread (the stream loop); completions arrive
+    on worker threads and must synchronise anything they touch — the
+    provided ``on_done`` callbacks and :class:`ServeSummary` do.
+    """
+
+    def __init__(
+        self,
+        registry,
+        default_model: Optional[str] = None,
+        heads: Optional[HeadRegistry] = None,
+        max_batch_size: int = 256,
+        defaults: ServeDefaults = ServeDefaults(),
+        workers: int = 2,
+        max_inflight: Optional[int] = None,
+        timeout: Optional[float] = None,
+        coalesce: bool = False,
+        linger: float = 0.002,
+        executors: Optional[Dict[str, str]] = None,
+    ):
+        super().__init__(registry, default_model=default_model, heads=heads,
+                         max_batch_size=max_batch_size, defaults=defaults)
+        if workers < 1:
+            raise ValueError("workers must be positive")
+        if max_inflight is not None and max_inflight < 1:
+            raise ValueError("max_inflight must be positive (or None)")
+        if timeout is not None and timeout <= 0:
+            raise ValueError("timeout must be positive (or None)")
+        if linger <= 0:
+            raise ValueError("linger must be positive")
+        self.workers = workers
+        self.max_inflight = max_inflight if max_inflight is not None else 32 * workers
+        self.timeout = timeout
+        self.coalesce = coalesce
+        self.linger = linger
+        self.executors = dict(executors) if executors else {}
+        for model_name, kind in self.executors.items():
+            if kind not in ("thread", "process"):
+                raise ValueError(
+                    f"executor for model {model_name!r} must be 'thread' or "
+                    f"'process', got {kind!r}"
+                )
+            if kind == "process" and registry.get(model_name).source is None:
+                raise ValueError(
+                    f"model {model_name!r} cannot use the process pool: it was "
+                    "registered in memory, not loaded from a checkpoint the "
+                    "pool workers could reload"
+                )
+        self._thread_pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="serve-worker")
+        self._process_pool: Optional[ProcessPoolExecutor] = None
+        self._pending: set = set()
+        self._pending_lock = threading.Lock()
+        self._idle: Dict[Tuple[str, str], List[Tuple[Any, Any, Any]]] = {}
+        self._idle_lock = threading.Lock()
+        self._groups: Dict[Tuple[str, str], _Group] = {}
+        self._groups_lock = threading.Lock()
+        #: Line-ordered (store, user_id, history) writes of admitted async
+        #: envelopes, replayed at barriers (dispatcher-thread only).
+        self._write_log: List[Tuple[Any, int, Tuple[int, ...]]] = []
+        self._closed = False
+        self._flusher: Optional[threading.Thread] = None
+        if coalesce:
+            self._flusher = threading.Thread(
+                target=self._flush_expired_forever, name="serve-flusher",
+                daemon=True)
+            self._flusher.start()
+
+    # ------------------------------------------------------------------ #
+    # Submission (dispatcher thread)
+    # ------------------------------------------------------------------ #
+    def submit(self, envelope: Envelope, line_number: int,
+               on_done: CompletionFn) -> None:
+        """Admit one envelope; ``on_done`` fires exactly once, now or later.
+
+        Raises :class:`ProtocolError` (unknown head/model, bad payloads,
+        ``overloaded``) and the execution errors of inline stateful work —
+        in those cases ``on_done`` is *not* called and the caller renders
+        the error, exactly as the serial loop does.
+        """
+        head = self.heads.get(envelope.head)
+        name = envelope.model if envelope.model is not None else self.default_model
+        if name is None:
+            raise ProtocolError(
+                ERR_UNKNOWN_MODEL,
+                "the envelope names no model and the router has no default",
+            )
+        try:
+            entry = self.registry.get(name)
+        except KeyError as error:
+            raise ProtocolError(ERR_UNKNOWN_MODEL, str(error.args[0])) from None
+        head.validate_entry(entry)
+        requests = self.parse_requests(head, envelope)
+
+        if self._stateful(head, requests):
+            # Sequential consistency for server-side state: finish everything
+            # admitted before this line, apply it inline, then resume.  The
+            # dispatcher blocks, so nothing later can overtake it either.
+            self.drain()
+            response, rows, _ = ServingRouter.execute(self, envelope)
+            on_done(line_number, envelope, response, rows, None)
+            return
+
+        with self._pending_lock:
+            if len(self._pending) >= self.max_inflight:
+                raise ProtocolError(
+                    ERR_OVERLOADED,
+                    f"server over capacity: {len(self._pending)} requests in "
+                    f"flight (max_inflight={self.max_inflight}); retry later",
+                )
+            deadline = (self._now() + self.timeout
+                        if self.timeout is not None else None)
+            pending = _Pending(line_number, envelope, head, requests,
+                               deadline, on_done)
+            self._pending.add(pending)
+
+        for request in requests:
+            history = getattr(request, "history", None)
+            if history is not None and getattr(request, "user_id", -1) >= 0:
+                self._write_log.append(
+                    (entry.sequence_store, request.user_id, tuple(history)))
+        key = (name, head.name)
+        if self.coalesce:
+            self._enqueue_group(key, pending)
+        else:
+            self._thread_pool.submit(self._run_unit, key, [pending])
+
+    def _stateful(self, head: Head, requests: Sequence) -> bool:
+        """Whether executing these requests depends on (or is) a state write.
+
+        The ``update`` head writes; a request resolving its history from the
+        server-side sequence (``history=None`` with a real ``user_id``)
+        reads.  Both must see — and be seen by — the stream in order.
+        Explicit-history requests also *seed* the store, but their own
+        results never depend on it, so they stay concurrent.
+        """
+        if head.name == "update":
+            return True
+        return any(
+            getattr(request, "history", ()) is None
+            and getattr(request, "user_id", -1) >= 0
+            for request in requests
+        )
+
+    @staticmethod
+    def _now() -> float:
+        return time.monotonic()
+
+    # ------------------------------------------------------------------ #
+    # Coalescing groups
+    # ------------------------------------------------------------------ #
+    def _enqueue_group(self, key: Tuple[str, str], pending: _Pending) -> None:
+        flush: Optional[List[_Pending]] = None
+        with self._groups_lock:
+            group = self._groups.get(key)
+            if group is None:
+                group = self._groups[key] = _Group(created=self._now())
+            group.items.append(pending)
+            group.size += len(pending.requests)
+            if group.size >= self.max_batch_size:
+                flush = self._groups.pop(key).items
+        if flush:
+            self._thread_pool.submit(self._run_unit, key, flush)
+
+    def _flush_groups(self, only_expired: bool = False) -> None:
+        now = self._now()
+        with self._groups_lock:
+            keys = [key for key, group in self._groups.items()
+                    if not only_expired or now - group.created >= self.linger]
+            flushes = [(key, self._groups.pop(key).items) for key in keys]
+        for key, items in flushes:
+            self._thread_pool.submit(self._run_unit, key, items)
+
+    def _flush_expired_forever(self) -> None:
+        interval = max(self.linger / 2.0, 1e-3)
+        while not self._closed:
+            time.sleep(interval)
+            self._flush_groups(only_expired=True)
+
+    # ------------------------------------------------------------------ #
+    # Worker-side execution
+    # ------------------------------------------------------------------ #
+    def _run_unit(self, key: Tuple[str, str], items: List[_Pending]) -> None:
+        """Execute one (model, head) micro-batch on a worker thread."""
+        try:
+            results = self._execute_requests(
+                key, [request for item in items for request in item.requests])
+        except Exception as error:  # noqa: BLE001 — must answer, not crash
+            if len(items) > 1:
+                # Isolate the failure: a poisoned request in a coalesced
+                # batch must not take its neighbours down with it.
+                for item in items:
+                    self._run_unit(key, [item])
+                return
+            pending = items[0]
+            code = error.code if isinstance(error, ProtocolError) else ERR_EXECUTION
+            self._complete(pending, error_response(
+                code, str(error), line=pending.line,
+                request_id=pending.envelope.request_id), 0, code)
+            return
+        offset = 0
+        for pending in items:
+            slice_ = results[offset:offset + len(pending.requests)]
+            offset += len(pending.requests)
+            response = render_response(pending.envelope, pending.head, slice_)
+            self._complete(pending, response, pending.head.rows(slice_), None)
+
+    def _execute_requests(self, key: Tuple[str, str], requests: List) -> List:
+        name, head_name = key
+        entry = self.registry.get(name)
+        head = self.heads.get(head_name)
+        if self.executors.get(name) == "process" and head_name in PROCESS_SAFE_HEADS:
+            pool = self._ensure_process_pool()
+            future = pool.submit(_process_execute, str(entry.source), head_name,
+                                 tuple(requests), self.max_batch_size)
+            return future.result()
+        lease = self._borrow(key, entry)
+        try:
+            return head.execute(lease, requests)
+        finally:
+            self._release(key, entry, lease)
+
+    def _ensure_process_pool(self) -> Executor:
+        with self._idle_lock:
+            if self._process_pool is None:
+                self._process_pool = ProcessPoolExecutor(max_workers=self.workers)
+            return self._process_pool
+
+    def _borrow(self, key: Tuple[str, str], entry):
+        """A micro-batcher for this (model, head), reused across units.
+
+        Workers never share a batcher (its queue and stats are not
+        synchronised); instead each borrows one from a freshness-checked
+        idle pool — a cached batcher built against a replaced entry or a
+        swapped retrieval pipeline is discarded, exactly like the serial
+        router's cache.
+        """
+        with self._idle_lock:
+            idle = self._idle.get(key, [])
+            while idle:
+                cached_entry, cached_retriever, batcher = idle.pop()
+                if cached_entry is entry and cached_retriever is entry.retriever:
+                    return batcher
+        return entry.batcher(max_batch_size=self.max_batch_size,
+                             head=key[1], heads=self.heads)
+
+    def _release(self, key: Tuple[str, str], entry, batcher) -> None:
+        with self._idle_lock:
+            idle = self._idle.setdefault(key, [])
+            if len(idle) < 2 * self.workers:
+                idle.append((entry, entry.retriever, batcher))
+
+    # ------------------------------------------------------------------ #
+    # Completion, deadlines, draining
+    # ------------------------------------------------------------------ #
+    def _complete(self, pending: _Pending, response: dict, rows: int,
+                  code: Optional[str]) -> None:
+        if pending.claim():
+            try:
+                pending.on_done(pending.line, pending.envelope, response,
+                                rows, code)
+            finally:
+                with self._pending_lock:
+                    self._pending.discard(pending)
+                pending.event.set()
+
+    def inflight(self) -> int:
+        """Envelopes admitted but not yet answered (the admission currency)."""
+        with self._pending_lock:
+            return len(self._pending)
+
+    def sweep_timeouts(self) -> int:
+        """Answer every deadline-expired envelope with a ``timeout`` error."""
+        if self.timeout is None:
+            return 0
+        now = self._now()
+        with self._pending_lock:
+            expired = [pending for pending in self._pending
+                       if pending.deadline is not None and now > pending.deadline]
+        for pending in expired:
+            self._timeout_pending(pending)
+        return len(expired)
+
+    def _timeout_pending(self, pending: _Pending) -> None:
+        self._complete(pending, error_response(
+            ERR_TIMEOUT,
+            f"request did not complete within {self.timeout:.3f}s",
+            line=pending.line, request_id=pending.envelope.request_id),
+            0, ERR_TIMEOUT)
+
+    def drain(self) -> None:
+        """Flush buffered batches and wait until nothing is in flight.
+
+        With a ``timeout`` configured the wait is bounded: any envelope
+        still unanswered at its deadline is resolved as a structured
+        ``timeout`` error and its worker's eventual result discarded — the
+        stream finishes even if a worker is stuck.
+
+        Once quiet, the dispatcher's line-ordered write log is replayed into
+        the sequence stores: workers encode explicit histories in completion
+        order, so the replay restores the serial path's last-writer-wins
+        ordering before any barrier-gated stored-history read (and before
+        the stream's final state is observed).
+        """
+        self._flush_groups()
+        while True:
+            with self._pending_lock:
+                pending = next(iter(self._pending), None)
+            if pending is None:
+                break
+            if pending.deadline is None:
+                pending.event.wait()
+            else:
+                remaining = pending.deadline - self._now()
+                if remaining > 0:
+                    pending.event.wait(remaining)
+                if not pending.event.is_set():
+                    self._timeout_pending(pending)
+        log, self._write_log = self._write_log, []
+        for store, user_id, history in log:
+            store.encode(user_id, history)
+
+    def close(self) -> None:
+        """Shut the pools down; queued-but-unstarted work is cancelled."""
+        self._closed = True
+        if self._flusher is not None:
+            self._flusher.join(timeout=max(self.linger * 4, 0.05))
+        self._thread_pool.shutdown(wait=False, cancel_futures=True)
+        with self._idle_lock:
+            process_pool, self._process_pool = self._process_pool, None
+        if process_pool is not None:
+            process_pool.shutdown(wait=False, cancel_futures=True)
+
+
+# --------------------------------------------------------------------------- #
+# Streaming front-end
+# --------------------------------------------------------------------------- #
+def serve_concurrent_jsonl(
+    registry,
+    name: str,
+    input_stream: IO[str],
+    output_stream: IO[str],
+    head: str = "score",
+    max_batch_size: int = 256,
+    k: Optional[int] = None,
+    n_retrieve: Optional[int] = None,
+    heads: Optional[HeadRegistry] = None,
+    workers: int = 2,
+    max_inflight: Optional[int] = None,
+    timeout: Optional[float] = None,
+    coalesce: bool = False,
+    linger: float = 0.002,
+    executors: Optional[Dict[str, str]] = None,
+) -> ServeSummary:
+    """Serve JSONL requests through the concurrent router until EOF.
+
+    The concurrent sibling of :func:`repro.serving.service.serve_jsonl` —
+    same wire protocol, same structured errors, same summary — with
+    responses written in **completion order** (each response carries its
+    envelope ``id``, error lines their input line number, so clients
+    correlate instead of counting).  Overloaded and timed-out lines get
+    ``overloaded`` / ``timeout`` error responses and are counted per code in
+    the returned :class:`ServeSummary` exactly like every other failure.
+    """
+    router = ConcurrentServingRouter(
+        registry, default_model=name,
+        heads=heads if heads is not None else default_heads(),
+        max_batch_size=max_batch_size,
+        defaults=ServeDefaults(k=k, n_retrieve=n_retrieve),
+        workers=workers, max_inflight=max_inflight, timeout=timeout,
+        coalesce=coalesce, linger=linger, executors=executors,
+    )
+    # Fail fast on an unservable default route, exactly like the serial loop.
+    router.batcher_for(name, head)
+    summary = ServeSummary()
+    write_lock = threading.Lock()
+
+    def emit(body: dict) -> None:
+        with write_lock:
+            output_stream.write(json.dumps(body) + "\n")
+            output_stream.flush()
+
+    def on_done(line_number: int, envelope: Envelope, response: dict,
+                rows: int, code: Optional[str]) -> None:
+        if code is None:
+            summary.record_rows(rows)
+        else:
+            summary.record_error(code)
+        emit(response)
+
+    try:
+        for line_number, raw_line in enumerate(input_stream, start=1):
+            line = raw_line.strip()
+            if not line:
+                continue
+            summary.record_line()
+            router.sweep_timeouts()
+            envelope: Optional[Envelope] = None
+            try:
+                try:
+                    document = json.loads(line)
+                except ValueError as error:
+                    raise ProtocolError(ERR_BAD_JSON,
+                                        f"invalid JSON: {error}") from None
+                envelope = parse_envelope(document, default_head=head,
+                                          default_model=name)
+                router.submit(envelope, line_number, on_done)
+            except ProtocolError as error:
+                summary.record_error(error.code)
+                emit(_error_body(error.code, str(error), line_number, envelope))
+            except (ValueError, KeyError, TypeError, IndexError, RuntimeError) as error:
+                summary.record_error(ERR_EXECUTION)
+                emit(_error_body(ERR_EXECUTION, str(error), line_number, envelope))
+        router.drain()
+    finally:
+        router.close()
+    return summary
+
+
+def _error_body(code: str, message: str, line_number: int,
+                envelope: Optional[Envelope]) -> dict:
+    request_id = envelope.request_id if envelope is not None else None
+    return error_response(code, message, line=line_number, request_id=request_id)

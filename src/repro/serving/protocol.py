@@ -88,6 +88,13 @@ ERR_BAD_REQUEST = "bad_request"
 #: The request parsed cleanly but the model could not answer it (for example
 #: an out-of-vocabulary index surfacing from the engine).
 ERR_EXECUTION = "execution_error"
+#: The server's admission control rejected the request: the bounded inflight
+#: queue of the concurrent runtime was full (backpressure, not failure — the
+#: client should retry after a delay).
+ERR_OVERLOADED = "overloaded"
+#: A worker did not answer the request within the configured deadline; the
+#: stream keeps flowing instead of hanging on the stuck batch.
+ERR_TIMEOUT = "timeout"
 
 #: Every code a response's ``error.code`` field may carry — the stable,
 #: client-facing contract; messages may be reworded, codes may not.
@@ -99,6 +106,8 @@ ERROR_CODES = (
     ERR_UNKNOWN_MODEL,
     ERR_BAD_REQUEST,
     ERR_EXECUTION,
+    ERR_OVERLOADED,
+    ERR_TIMEOUT,
 )
 
 
@@ -734,6 +743,24 @@ class ServingRouter:
         self._batchers[key] = (entry, entry.retriever, batcher)
         return entry, batcher
 
+    def defaults_for(self, envelope: Envelope) -> ServeDefaults:
+        """The parse defaults one envelope's payloads see.
+
+        v1 envelopes get the stored-history semantic (a request omitting
+        ``history`` reads the server-side sequence); auto-upgraded legacy
+        documents keep the historical missing-means-empty behaviour.
+        """
+        defaults = self.defaults
+        if not envelope.legacy and not defaults.stored_history:
+            defaults = ServeDefaults(k=defaults.k, n_retrieve=defaults.n_retrieve,
+                                     stored_history=True)
+        return defaults
+
+    def parse_requests(self, head: Head, envelope: Envelope) -> List:
+        """Parse every payload of ``envelope`` through ``head``."""
+        defaults = self.defaults_for(envelope)
+        return [head.parse(payload, defaults) for payload in envelope.payloads]
+
     def execute(self, envelope: Envelope):
         """Answer one envelope; returns ``(response_body, rows, head)``.
 
@@ -746,10 +773,6 @@ class ServingRouter:
             _, batcher = self.batcher_for(envelope.model, envelope.head)
         except KeyError as error:
             raise ProtocolError(ERR_UNKNOWN_MODEL, str(error.args[0])) from None
-        defaults = self.defaults
-        if not envelope.legacy and not defaults.stored_history:
-            defaults = ServeDefaults(k=defaults.k, n_retrieve=defaults.n_retrieve,
-                                     stored_history=True)
-        requests = [head.parse(payload, defaults) for payload in envelope.payloads]
+        requests = self.parse_requests(head, envelope)
         results = head.execute(batcher, requests)
         return render_response(envelope, head, results), head.rows(results), head

@@ -45,7 +45,7 @@ from repro.serving.batcher import (
     RecommendRequest,
     ScoreRequest,
 )
-from repro.serving.cache import UserSequenceStore
+from repro.serving.cache import ShardedUserSequenceStore, UserSequenceStore
 from repro.serving.engine import InferenceEngine
 
 if TYPE_CHECKING:  # pragma: no cover — import cycle: retrieval imports the engine
@@ -63,7 +63,8 @@ class RegisteredModel:
     name: str
     model: SeqFM
     engine: InferenceEngine
-    sequence_store: UserSequenceStore
+    #: Single or sharded store — same surface, chosen by ``cache_shards``.
+    sequence_store: Union[UserSequenceStore, ShardedUserSequenceStore]
     source: Optional[Path] = None
     #: Catalog snapshot for two-stage retrieval; attached by
     #: :meth:`ModelRegistry.build_index` / :meth:`ModelRegistry.load_index`.
@@ -114,13 +115,32 @@ class ModelRegistry:
         Optional time-to-live in seconds for stored user sequences — the
         staleness bound for server-side state maintained by the ``update``
         serving head (``None``: never expire).
+    cache_shards:
+        Number of consistent-hash shards each model's sequence store is
+        split over (:class:`ShardedUserSequenceStore`).  ``1`` (the default)
+        keeps the single-store layout; higher values reduce lock contention
+        under the concurrent serving runtime and make per-shard
+        snapshot/restore available.
     """
 
     def __init__(self, cache_capacity: int = 4096,
-                 cache_ttl: Optional[float] = None):
+                 cache_ttl: Optional[float] = None,
+                 cache_shards: int = 1):
+        if cache_shards < 1:
+            raise ValueError("cache_shards must be positive")
         self.cache_capacity = cache_capacity
         self.cache_ttl = cache_ttl
+        self.cache_shards = cache_shards
         self._entries: Dict[str, RegisteredModel] = {}
+
+    def _make_sequence_store(self, max_seq_len: int):
+        if self.cache_shards > 1:
+            return ShardedUserSequenceStore(
+                max_seq_len, capacity=self.cache_capacity, ttl=self.cache_ttl,
+                shards=self.cache_shards,
+            )
+        return UserSequenceStore(max_seq_len, capacity=self.cache_capacity,
+                                 ttl=self.cache_ttl)
 
     # ------------------------------------------------------------------ #
     # Registration / persistence
@@ -148,10 +168,7 @@ class ModelRegistry:
             name=name,
             model=model,
             engine=InferenceEngine(model),
-            sequence_store=UserSequenceStore(
-                model.config.max_seq_len, capacity=self.cache_capacity,
-                ttl=self.cache_ttl,
-            ),
+            sequence_store=self._make_sequence_store(model.config.max_seq_len),
             source=Path(source) if source is not None else None,
         )
         self._entries[name] = entry

@@ -44,6 +44,7 @@ functions — remain as thin deprecation shims over the generic dispatcher.
 from __future__ import annotations
 
 import json
+import threading
 from dataclasses import dataclass, field
 from typing import IO, Dict, Iterable, List, Optional
 
@@ -243,6 +244,13 @@ class ServeSummary:
     error_codes:
         How many errored lines carried each stable error code — the
         operator-facing breakdown (``{"bad_request": 2, "bad_json": 1}``).
+
+    The summary is **thread-safe**: the concurrent serving runtime resolves
+    responses from a pool of workers, so every mutation goes through one
+    internal lock (:meth:`record_line`, :meth:`record_rows`,
+    :meth:`record_error`, :meth:`merge`).  Counts recorded under contention
+    sum exactly — regression-tested, because a torn ``+=`` under load is the
+    kind of bug a happy-path demo never shows.
     """
 
     rows: int = 0
@@ -250,14 +258,42 @@ class ServeSummary:
     errors: int = 0
     error_codes: Dict[str, int] = field(default_factory=dict)
 
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
+
     @property
     def served(self) -> int:
         """Lines that produced a real response."""
         return self.lines - self.errors
 
+    def record_line(self, count: int = 1) -> None:
+        """Count ``count`` consumed input lines."""
+        with self._lock:
+            self.lines += count
+
+    def record_rows(self, rows: int) -> None:
+        """Count one successfully answered line worth ``rows`` result rows."""
+        with self._lock:
+            self.rows += rows
+
     def record_error(self, code: str) -> None:
-        self.errors += 1
-        self.error_codes[code] = self.error_codes.get(code, 0) + 1
+        with self._lock:
+            self.errors += 1
+            self.error_codes[code] = self.error_codes.get(code, 0) + 1
+
+    def merge(self, other: "ServeSummary") -> None:
+        """Fold a worker-local summary into this one (all counters summed)."""
+        if other is self:
+            raise ValueError("cannot merge a summary into itself")
+        with other._lock:
+            rows, lines, errors = other.rows, other.lines, other.errors
+            codes = dict(other.error_codes)
+        with self._lock:
+            self.rows += rows
+            self.lines += lines
+            self.errors += errors
+            for code, count in codes.items():
+                self.error_codes[code] = self.error_codes.get(code, 0) + count
 
 
 def serve_jsonl(
@@ -302,7 +338,7 @@ def serve_jsonl(
         line = raw_line.strip()
         if not line:
             continue
-        summary.lines += 1
+        summary.record_line()
         envelope: Optional[Envelope] = None
         try:
             try:
@@ -319,7 +355,7 @@ def serve_jsonl(
             summary.record_error(ERR_EXECUTION)
             response = _error_line(ERR_EXECUTION, str(error), line_number, envelope)
         else:
-            summary.rows += rows
+            summary.record_rows(rows)
         output_stream.write(json.dumps(response) + "\n")
         output_stream.flush()
     return summary

@@ -175,3 +175,152 @@ class TestDataProperties:
                 assert valid_positions[-1] == max_seq_len - 1
             assert example.static_indices[0] < encoder.num_users
             assert encoder.num_users <= example.static_indices[1] < encoder.static_vocab_size
+
+
+# --------------------------------------------------------------------------- #
+# Consistent hashing and the sharded sequence store
+# --------------------------------------------------------------------------- #
+from repro.serving.cache import (  # noqa: E402 — grouped with its test class
+    HashRing,
+    ShardedUserSequenceStore,
+    UserSequenceStore,
+)
+
+shard_names = st.lists(st.integers(min_value=0, max_value=50), min_size=2,
+                       max_size=8, unique=True)
+user_ids = st.lists(st.integers(min_value=0, max_value=10_000), min_size=1,
+                    max_size=40)
+
+
+class TestConsistentHashingProperties:
+    @SETTINGS
+    @given(shard_names, user_ids)
+    def test_assignment_is_deterministic_across_rings(self, shards, keys):
+        first = HashRing(shards)
+        second = HashRing(list(reversed(shards)))
+        for key in keys:
+            assert first.shard_for(key) == second.shard_for(key)
+
+    @SETTINGS
+    @given(shard_names, user_ids, st.integers(min_value=51, max_value=60))
+    def test_adding_a_shard_only_remaps_keys_it_takes(self, shards, keys, new):
+        ring = HashRing(shards)
+        before = {key: ring.shard_for(key) for key in keys}
+        ring.add(new)
+        for key, owner in before.items():
+            after = ring.shard_for(key)
+            assert after == owner or after == new
+
+    @SETTINGS
+    @given(shard_names, user_ids, st.data())
+    def test_removing_a_shard_only_remaps_its_own_keys(self, shards, keys, data):
+        ring = HashRing(shards)
+        before = {key: ring.shard_for(key) for key in keys}
+        victim = data.draw(st.sampled_from(shards))
+        ring.remove(victim)
+        for key, owner in before.items():
+            if owner != victim:
+                assert ring.shard_for(key) == owner
+
+    @SETTINGS
+    @given(shard_names, user_ids)
+    def test_every_key_lands_on_a_live_shard(self, shards, keys):
+        ring = HashRing(shards)
+        for key in keys:
+            assert ring.shard_for(key) in shards
+
+
+@st.composite
+def store_operations(draw):
+    """A mixed op tape: record / append / encode / stored-read / clock advance."""
+    operations = []
+    for _ in range(draw(st.integers(min_value=1, max_value=25))):
+        kind = draw(st.sampled_from(["record", "append", "encode", "read", "tick"]))
+        user_id = draw(st.integers(min_value=0, max_value=12))
+        if kind == "record":
+            events = draw(st.lists(st.integers(min_value=1, max_value=28),
+                                   min_size=1, max_size=4))
+            operations.append(("record", user_id, events))
+        elif kind == "append":
+            operations.append(("append", user_id, draw(st.integers(min_value=1, max_value=28))))
+        elif kind == "encode":
+            history = draw(st.lists(st.integers(min_value=1, max_value=28),
+                                    min_size=0, max_size=6))
+            operations.append(("encode", user_id, history))
+        elif kind == "read":
+            operations.append(("read", user_id, None))
+        else:
+            operations.append(("tick", None, draw(st.floats(min_value=0.1, max_value=6.0))))
+    return operations
+
+
+def _apply(store, operations, clock):
+    """Drive one store through the tape; returns the stored-read outcomes."""
+    seen = []
+    for kind, user_id, argument in operations:
+        if kind == "record":
+            store.record(user_id, argument)
+        elif kind == "append":
+            store.append_event(user_id, argument)
+        elif kind == "encode":
+            store.encode(user_id, argument)
+        elif kind == "read":
+            seen.append((user_id, store.history(user_id)))
+        else:
+            clock["now"] += argument
+    return seen
+
+
+class TestShardedStoreProperties:
+    @SETTINGS
+    @given(store_operations(), st.integers(min_value=2, max_value=5))
+    def test_ttl_and_state_semantics_match_the_single_store(self, operations, shards):
+        """Sharding is invisible: same tape, same visible state, same expiry.
+
+        Capacity is non-binding here on purpose — per-shard LRU eviction
+        *order* is the one semantic sharding legitimately changes; TTL and
+        sequence state must not.
+        """
+        clock = {"now": 0.0}
+        sharded = ShardedUserSequenceStore(max_seq_len=6, capacity=4096, ttl=8.0,
+                                           clock=lambda: clock["now"], shards=shards)
+        sharded_reads = _apply(sharded, operations, clock)
+        clock["now"] = 0.0
+        single = UserSequenceStore(max_seq_len=6, capacity=4096, ttl=8.0,
+                                   clock=lambda: clock["now"])
+        single_reads = _apply(single, operations, clock)
+        assert sharded_reads == single_reads
+        for user_id in range(13):
+            assert sharded.history(user_id) == single.history(user_id)
+
+    @SETTINGS
+    @given(store_operations(), st.integers(min_value=2, max_value=5))
+    def test_snapshot_restore_round_trips_exactly(self, operations, shards):
+        clock = {"now": 0.0}
+        store = ShardedUserSequenceStore(max_seq_len=6, capacity=64, ttl=30.0,
+                                         clock=lambda: clock["now"], shards=shards)
+        _apply(store, operations, clock)
+        snapshot = store.snapshot()
+        clone = ShardedUserSequenceStore(max_seq_len=6, capacity=64, ttl=30.0,
+                                         clock=lambda: clock["now"], shards=shards)
+        clone.restore(snapshot)
+        assert len(clone) == len(store)
+        for user_id in range(13):
+            assert clone.history(user_id) == store.history(user_id)
+        # And the copies evolve identically afterwards.
+        store.record(3, [9]); clone.record(3, [9])
+        assert clone.history(3) == store.history(3)
+
+    @SETTINGS
+    @given(store_operations())
+    def test_single_store_snapshot_round_trips_exactly(self, operations):
+        clock = {"now": 0.0}
+        store = UserSequenceStore(max_seq_len=6, capacity=32, ttl=30.0,
+                                  clock=lambda: clock["now"])
+        _apply(store, operations, clock)
+        clone = UserSequenceStore(max_seq_len=6, capacity=32, ttl=30.0,
+                                  clock=lambda: clock["now"])
+        clone.restore(store.snapshot())
+        assert len(clone) == len(store)
+        for user_id in range(13):
+            assert clone.history(user_id) == store.history(user_id)

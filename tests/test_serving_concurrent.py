@@ -1,0 +1,652 @@
+"""Concurrency battery for the concurrent serving runtime.
+
+Proves the contract of :mod:`repro.serving.concurrent`: for any request
+stream, the concurrent responses — re-keyed by envelope ``id`` — are
+byte-identical to the serial :class:`~repro.serving.protocol.ServingRouter`
+path, at several worker counts, with stateful ``update`` traffic interleaved
+against a sharded store; and that the failure modes (a head raising
+mid-batch, a stuck worker, more load than the server admits) surface as
+structured per-line errors while the stream keeps flowing.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.config import SeqFMConfig
+from repro.core.model import SeqFM
+from repro.serving import (
+    ConcurrentServingRouter,
+    HeadRegistry,
+    ModelRegistry,
+    ServeSummary,
+    ShardedUserSequenceStore,
+    UserSequenceStore,
+    default_heads,
+    serve_concurrent_jsonl,
+    serve_jsonl,
+)
+from repro.serving.protocol import (
+    ERR_EXECUTION,
+    ERR_OVERLOADED,
+    ERR_TIMEOUT,
+    ERR_UNKNOWN_MODEL,
+    ProtocolError,
+    ScoringHead,
+)
+
+CONFIG = SeqFMConfig(static_vocab_size=40, dynamic_vocab_size=30, max_seq_len=6,
+                     embed_dim=8, dropout=0.0, seed=5)
+
+#: Static-vocabulary catalog the recommend head serves (users are 0..9).
+CATALOG = list(range(10, 40))
+
+
+def make_model(seed: int) -> SeqFM:
+    model = SeqFM(CONFIG)
+    rng = np.random.default_rng(seed)
+    for parameter in model.parameters():
+        parameter.data += rng.normal(0.0, 0.2, parameter.data.shape)
+    model.dynamic_embedding.reset_padding()
+    return model
+
+
+def make_registry(cache_shards: int = 1, **kwargs) -> ModelRegistry:
+    """Two deterministic models; 'golden' carries an item index."""
+    registry = ModelRegistry(cache_shards=cache_shards, **kwargs)
+    registry.register("golden", make_model(2))
+    registry.register("alt", make_model(3))
+    registry.build_index("golden", CATALOG, n_retrieve=len(CATALOG))
+    return registry
+
+
+def mixed_stream(num_lines: int = 100, seed: int = 7) -> list:
+    """A deterministic multi-model stream interleaving every head.
+
+    Covers exactly the traffic the parity contract is about: stateless
+    scoring/ranking/recommendation against two models, stateful ``update``
+    writes, and stored-history reads that must observe those writes in
+    stream order.
+    """
+    rng = np.random.default_rng(seed)
+    lines = []
+    for i in range(num_lines):
+        kind = i % 5
+        user_id = int(rng.integers(0, 8))
+        history = [int(item) for item in rng.integers(0, 30, size=4)]
+        if kind == 0:
+            lines.append({"v": 1, "head": "score", "id": f"s{i}", "model": "alt",
+                          "payload": {"static_indices": [1, 20],
+                                      "history": history, "user_id": user_id}})
+        elif kind == 1:
+            lines.append({"v": 1, "head": "rank-topk", "id": f"r{i}",
+                          "payload": {"static_indices": [3, 10],
+                                      "candidates": [14, 15, 16, 17],
+                                      "history": history, "k": 2,
+                                      "user_id": user_id}})
+        elif kind == 2:
+            lines.append({"v": 1, "head": "update", "id": f"u{i}",
+                          "payload": {"user_id": user_id,
+                                      "events": [int(rng.integers(0, 30))]}})
+        elif kind == 3:
+            lines.append({"v": 1, "head": "recommend", "id": f"c{i}",
+                          "payload": {"static_indices": [2, 11],
+                                      "history": history, "k": 3,
+                                      "n_retrieve": 8, "user_id": user_id}})
+        else:
+            # Stored-history read: answered from the server-side sequence
+            # the preceding updates and explicit histories established.
+            lines.append({"v": 1, "head": "score", "id": f"q{i}",
+                          "payload": {"static_indices": [1, 20],
+                                      "user_id": user_id}})
+    return [json.dumps(line) for line in lines]
+
+
+def keyed_responses(output: str) -> dict:
+    """Response lines re-keyed by envelope id (errors carry the id too)."""
+    keyed = {}
+    for line in output.splitlines():
+        document = json.loads(line)
+        key = document.get("id") or document.get("error", {}).get("id")
+        if key is None:
+            # An unparseable input line has no envelope id; its error still
+            # carries the input line number, which identifies it uniquely.
+            key = ("line", document["error"]["line"])
+        assert key not in keyed, f"duplicate response for {key}"
+        keyed[key] = line
+    return keyed
+
+
+def run_serial(lines, registry=None, **kwargs):
+    registry = registry if registry is not None else make_registry()
+    output = io.StringIO()
+    summary = serve_jsonl(registry, "golden",
+                          io.StringIO("\n".join(lines) + "\n"), output, **kwargs)
+    return summary, keyed_responses(output.getvalue()), registry
+
+
+def run_concurrent(lines, registry=None, cache_shards=1, **kwargs):
+    registry = registry if registry is not None else make_registry(cache_shards)
+    output = io.StringIO()
+    summary = serve_concurrent_jsonl(registry, "golden",
+                                     io.StringIO("\n".join(lines) + "\n"),
+                                     output, **kwargs)
+    return summary, keyed_responses(output.getvalue()), registry
+
+
+# --------------------------------------------------------------------------- #
+# Heads with injected faults (same wire behaviour, controllable execution)
+# --------------------------------------------------------------------------- #
+class SlowScoringHead(ScoringHead):
+    """A scoring head whose execution takes a configurable time."""
+
+    def __init__(self, delay: float):
+        super().__init__("score", "score")
+        self.delay = delay
+
+    def execute(self, batcher, requests):
+        time.sleep(self.delay)
+        return super().execute(batcher, requests)
+
+
+class PoisonableScoringHead(ScoringHead):
+    """Raises mid-batch whenever a request carries the poisoned user id."""
+
+    POISONED_USER = 99
+
+    def __init__(self):
+        super().__init__("score", "score")
+
+    def execute(self, batcher, requests):
+        if any(request.user_id == self.POISONED_USER for request in requests):
+            raise RuntimeError("poisoned request reached the engine")
+        return super().execute(batcher, requests)
+
+
+def heads_with(head) -> HeadRegistry:
+    registry = HeadRegistry(list(default_heads()))
+    registry.register(head, overwrite=True)
+    return registry
+
+
+def score_lines(count, user_id=lambda i: i % 4):
+    return [json.dumps({"v": 1, "head": "score", "id": f"s{i}",
+                        "payload": {"static_indices": [1, 20], "history": [1, 2],
+                                    "user_id": user_id(i)}})
+            for i in range(count)]
+
+
+# --------------------------------------------------------------------------- #
+# The parity contract (the concurrency stress test)
+# --------------------------------------------------------------------------- #
+class TestConcurrentParity:
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_mixed_stream_is_byte_identical_to_serial(self, workers):
+        lines = mixed_stream(100)
+        serial_summary, serial, _ = run_serial(lines)
+        assert serial_summary.errors == 0
+        summary, concurrent, _ = run_concurrent(lines, cache_shards=3,
+                                                workers=workers)
+        assert set(concurrent) == set(serial)
+        for key in serial:
+            assert concurrent[key] == serial[key], key
+        assert summary.lines == serial_summary.lines
+        assert summary.rows == serial_summary.rows
+        assert summary.errors == 0
+
+    def test_update_then_stored_read_sees_serial_order(self):
+        # Dense stateful traffic on a single user: every stored read must
+        # reflect exactly the updates (and explicit-history overwrites)
+        # that precede it in the stream — the barrier contract.
+        lines = []
+        for i in range(30):
+            if i % 3 == 0:
+                lines.append(json.dumps({"v": 1, "head": "update", "id": f"u{i}",
+                                         "payload": {"user_id": 1, "events": [i % 29]}}))
+            elif i % 3 == 1:
+                lines.append(json.dumps({"v": 1, "head": "score", "id": f"w{i}",
+                                         "payload": {"static_indices": [1, 20],
+                                                     "history": [i % 29, 5],
+                                                     "user_id": 1}}))
+            else:
+                lines.append(json.dumps({"v": 1, "head": "score", "id": f"q{i}",
+                                         "payload": {"static_indices": [1, 20],
+                                                     "user_id": 1}}))
+        _, serial, serial_registry = run_serial(lines)
+        _, concurrent, concurrent_registry = run_concurrent(
+            lines, cache_shards=2, workers=4)
+        assert concurrent == serial
+        # The final server-side sequence matches too, not just the responses.
+        serial_store = serial_registry.get("golden").sequence_store
+        concurrent_store = concurrent_registry.get("golden").sequence_store
+        assert concurrent_store.history(1) == serial_store.history(1)
+
+    def test_final_store_state_matches_serial(self):
+        lines = mixed_stream(60)
+        _, _, serial_registry = run_serial(lines)
+        _, _, concurrent_registry = run_concurrent(lines, cache_shards=3,
+                                                   workers=4)
+        serial_store = serial_registry.get("golden").sequence_store
+        concurrent_store = concurrent_registry.get("golden").sequence_store
+        for user_id in range(8):
+            assert concurrent_store.history(user_id) == serial_store.history(user_id)
+
+    def test_coalesced_scoring_matches_serial_numerically(self):
+        # Coalescing merges requests from different envelopes into one BLAS
+        # batch; summation order inside the kernels changes, so the contract
+        # weakens from byte-identity to numerical agreement.
+        lines = score_lines(64, user_id=lambda i: i % 8)
+        _, serial, _ = run_serial(lines)
+        _, concurrent, _ = run_concurrent(lines, workers=2, coalesce=True)
+        assert set(concurrent) == set(serial)
+        for key in serial:
+            expected = json.loads(serial[key])["result"]["score"]
+            actual = json.loads(concurrent[key])["result"]["score"]
+            assert actual == pytest.approx(expected, abs=1e-9)
+
+    def test_coalesced_list_heads_stay_byte_identical(self):
+        # rank-topk executes per request even inside a merged batch, so
+        # coalescing it keeps byte-for-byte parity.
+        rng = np.random.default_rng(3)
+        lines = [json.dumps({"v": 1, "head": "rank-topk", "id": f"r{i}",
+                             "payload": {"static_indices": [3, 10],
+                                         "candidates": [14, 15, 16, 17],
+                                         "history": [int(x) for x in rng.integers(0, 30, size=3)],
+                                         "k": 2, "user_id": i % 5}})
+                 for i in range(40)]
+        _, serial, _ = run_serial(lines)
+        _, concurrent, _ = run_concurrent(lines, workers=4, coalesce=True)
+        assert concurrent == serial
+
+    def test_error_lines_match_serial(self):
+        lines = [
+            json.dumps({"v": 1, "head": "score", "id": "ok",
+                        "payload": {"static_indices": [1, 20], "history": [1],
+                                    "user_id": 0}}),
+            "{not json",
+            json.dumps({"v": 1, "head": "nope", "id": "bad-head", "payload": {}}),
+            json.dumps({"v": 1, "head": "score", "model": "ghost", "id": "bad-model",
+                        "payload": {"static_indices": [1, 20]}}),
+            json.dumps({"v": 1, "head": "score", "id": "bad-req",
+                        "payload": {"history": [1]}}),
+        ]
+        serial_summary, serial, _ = run_serial(lines)
+        summary, concurrent, _ = run_concurrent(lines, workers=2)
+        # The unparseable line carries no id; compare it by its line number.
+        assert summary.error_codes == serial_summary.error_codes
+        for key in serial:
+            assert concurrent[key] == serial[key]
+
+
+# --------------------------------------------------------------------------- #
+# Fault injection: raising heads, stuck workers, overload
+# --------------------------------------------------------------------------- #
+class TestFaultInjection:
+    def test_raising_head_poisons_only_its_line(self):
+        poisoned = PoisonableScoringHead.POISONED_USER
+        lines = score_lines(12, user_id=lambda i: poisoned if i == 5 else i % 3)
+        registry = make_registry()
+        output = io.StringIO()
+        summary = serve_concurrent_jsonl(
+            registry, "golden", io.StringIO("\n".join(lines) + "\n"), output,
+            workers=2, heads=heads_with(PoisonableScoringHead()))
+        responses = keyed_responses(output.getvalue())
+        assert len(responses) == 12
+        errors = {key: json.loads(line) for key, line in responses.items()
+                  if "error" in json.loads(line)}
+        assert set(errors) == {"s5"}
+        assert errors["s5"]["error"]["code"] == ERR_EXECUTION
+        assert summary.error_codes == {ERR_EXECUTION: 1}
+        assert summary.rows == 11
+
+    def test_raising_head_inside_coalesced_batch_spares_neighbours(self):
+        poisoned = PoisonableScoringHead.POISONED_USER
+        lines = score_lines(12, user_id=lambda i: poisoned if i == 5 else i % 3)
+        registry = make_registry()
+        output = io.StringIO()
+        summary = serve_concurrent_jsonl(
+            registry, "golden", io.StringIO("\n".join(lines) + "\n"), output,
+            workers=2, coalesce=True, heads=heads_with(PoisonableScoringHead()))
+        responses = keyed_responses(output.getvalue())
+        assert len(responses) == 12
+        errors = [key for key, line in responses.items()
+                  if "error" in json.loads(line)]
+        assert errors == ["s5"]
+        assert summary.error_codes == {ERR_EXECUTION: 1}
+
+    def test_stuck_worker_surfaces_timeout_instead_of_hanging(self):
+        lines = score_lines(6)
+        registry = make_registry()
+        output = io.StringIO()
+        started = time.monotonic()
+        summary = serve_concurrent_jsonl(
+            registry, "golden", io.StringIO("\n".join(lines) + "\n"), output,
+            workers=2, timeout=0.05, heads=heads_with(SlowScoringHead(5.0)))
+        elapsed = time.monotonic() - started
+        assert elapsed < 2.0, "the stream waited on a stuck worker"
+        responses = [json.loads(line) for line in output.getvalue().splitlines()]
+        assert len(responses) == 6
+        assert all(r["error"]["code"] == ERR_TIMEOUT for r in responses)
+        assert summary.error_codes == {ERR_TIMEOUT: 6}
+
+    def test_overload_rejects_with_structured_code(self):
+        lines = score_lines(20)
+        registry = make_registry()
+        output = io.StringIO()
+        summary = serve_concurrent_jsonl(
+            registry, "golden", io.StringIO("\n".join(lines) + "\n"), output,
+            workers=1, max_inflight=2, heads=heads_with(SlowScoringHead(0.05)))
+        assert summary.error_codes.get(ERR_OVERLOADED, 0) > 0
+        responses = [json.loads(line) for line in output.getvalue().splitlines()]
+        assert len(responses) == 20
+        overloaded = [r for r in responses
+                      if r.get("error", {}).get("code") == ERR_OVERLOADED]
+        served = [r for r in responses if "error" not in r]
+        assert len(overloaded) == summary.error_codes[ERR_OVERLOADED]
+        # Admitted lines were still answered: rejection sheds load, it does
+        # not corrupt the stream.
+        assert len(served) == 20 - len(overloaded)
+        assert summary.rows == len(served)
+
+    def test_router_submit_raises_overloaded_protocol_error(self):
+        registry = make_registry()
+        router = ConcurrentServingRouter(
+            registry, default_model="golden", max_inflight=1, workers=1,
+            heads=heads_with(SlowScoringHead(0.2)))
+        try:
+            from repro.serving.protocol import parse_envelope
+            envelope = parse_envelope(
+                {"v": 1, "head": "score",
+                 "payload": {"static_indices": [1, 20], "history": [1],
+                             "user_id": 0}}, default_head="score",
+                default_model="golden")
+            done = []
+            router.submit(envelope, 1, lambda *args: done.append(args))
+            with pytest.raises(ProtocolError) as excinfo:
+                router.submit(envelope, 2, lambda *args: done.append(args))
+            assert excinfo.value.code == ERR_OVERLOADED
+            router.drain()
+            assert len(done) == 1
+        finally:
+            router.close()
+
+    def test_unknown_model_rejected_at_submit(self):
+        registry = make_registry()
+        router = ConcurrentServingRouter(registry, default_model="golden",
+                                         workers=1)
+        try:
+            from repro.serving.protocol import parse_envelope
+            envelope = parse_envelope(
+                {"v": 1, "head": "score", "model": "ghost",
+                 "payload": {"static_indices": [1, 20]}},
+                default_head="score", default_model="golden")
+            with pytest.raises(ProtocolError) as excinfo:
+                router.submit(envelope, 1, lambda *args: None)
+            assert excinfo.value.code == ERR_UNKNOWN_MODEL
+        finally:
+            router.close()
+
+
+# --------------------------------------------------------------------------- #
+# The process-pool fallback
+# --------------------------------------------------------------------------- #
+class TestProcessPoolFallback:
+    def test_process_executor_matches_serial(self, tmp_path):
+        checkpoint = tmp_path / "golden.npz"
+        seed_registry = ModelRegistry()
+        seed_registry.register("golden", make_model(2))
+        seed_registry.save("golden", checkpoint)
+
+        lines = []
+        rng = np.random.default_rng(11)
+        for i in range(24):
+            user_id = int(rng.integers(0, 5))
+            if i % 4 == 3:
+                lines.append(json.dumps({"v": 1, "head": "score", "id": f"q{i}",
+                                         "payload": {"static_indices": [1, 20],
+                                                     "user_id": user_id}}))
+            else:
+                history = [int(x) for x in rng.integers(0, 30, size=4)]
+                lines.append(json.dumps({"v": 1, "head": "score", "id": f"s{i}",
+                                         "payload": {"static_indices": [1, 20],
+                                                     "history": history,
+                                                     "user_id": user_id}}))
+
+        def loaded_registry():
+            registry = ModelRegistry()
+            registry.load("golden", checkpoint)
+            return registry
+
+        _, serial, _ = run_serial(lines, registry=loaded_registry())
+        summary, concurrent, _ = run_concurrent(
+            lines, registry=loaded_registry(), workers=2,
+            executors={"golden": "process"})
+        assert summary.errors == 0
+        assert concurrent == serial
+
+    def test_process_executor_requires_a_checkpoint(self):
+        registry = make_registry()  # in-memory models, no source path
+        with pytest.raises(ValueError, match="process pool"):
+            ConcurrentServingRouter(registry, default_model="golden",
+                                    executors={"golden": "process"})
+
+    def test_executor_kind_is_validated(self):
+        registry = make_registry()
+        with pytest.raises(ValueError, match="'thread' or 'process'"):
+            ConcurrentServingRouter(registry, default_model="golden",
+                                    executors={"golden": "gpu"})
+
+
+# --------------------------------------------------------------------------- #
+# ServeSummary thread-safety (the aggregation fix)
+# --------------------------------------------------------------------------- #
+class TestServeSummaryThreadSafety:
+    def test_contended_counters_sum_exactly(self):
+        summary = ServeSummary()
+        threads, per_thread = 8, 500
+
+        def hammer():
+            for i in range(per_thread):
+                summary.record_line()
+                summary.record_rows(2)
+                summary.record_error("execution_error" if i % 2 else "timeout")
+
+        pool = [threading.Thread(target=hammer) for _ in range(threads)]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        assert summary.lines == threads * per_thread
+        assert summary.rows == threads * per_thread * 2
+        assert summary.errors == threads * per_thread
+        assert summary.error_codes["execution_error"] == threads * per_thread // 2
+        assert summary.error_codes["timeout"] == threads * per_thread // 2
+
+    def test_merge_accumulates_every_counter(self):
+        first, second = ServeSummary(), ServeSummary()
+        first.record_line()
+        first.record_rows(3)
+        second.record_line()
+        second.record_error("overloaded")
+        first.merge(second)
+        assert first.lines == 2
+        assert first.rows == 3
+        assert first.errors == 1
+        assert first.error_codes == {"overloaded": 1}
+
+    def test_merge_into_itself_is_rejected(self):
+        summary = ServeSummary()
+        with pytest.raises(ValueError):
+            summary.merge(summary)
+
+
+# --------------------------------------------------------------------------- #
+# The sharded store
+# --------------------------------------------------------------------------- #
+class TestShardedStore:
+    def test_same_surface_as_single_store(self):
+        store = ShardedUserSequenceStore(max_seq_len=6, capacity=64, shards=4)
+        indices, mask = store.encode(3, [1, 2, 3])
+        single = UserSequenceStore(max_seq_len=6, capacity=64)
+        expected_indices, expected_mask = single.encode(3, [1, 2, 3])
+        np.testing.assert_array_equal(indices, expected_indices)
+        np.testing.assert_array_equal(mask, expected_mask)
+        store.record(7, [4, 5])
+        store.append_event(7, 6)
+        assert store.history(7) == (4, 5, 6)
+        assert 7 in store and len(store) == 2
+
+    def test_placement_is_stable_and_complete(self):
+        store = ShardedUserSequenceStore(max_seq_len=4, shards=5)
+        placement = {user_id: store.shard_for(user_id) for user_id in range(200)}
+        assert set(placement.values()) <= set(store.shard_ids())
+        # Deterministic: a second store with the same topology agrees.
+        twin = ShardedUserSequenceStore(max_seq_len=4, shards=5)
+        assert all(twin.shard_for(user_id) == shard
+                   for user_id, shard in placement.items())
+
+    def test_add_shard_only_remaps_keys_it_takes_over(self):
+        store = ShardedUserSequenceStore(max_seq_len=4, shards=4)
+        before = {user_id: store.shard_for(user_id) for user_id in range(300)}
+        store.add_shard("overflow")
+        for user_id, shard in before.items():
+            after = store.shard_for(user_id)
+            assert after == shard or after == "overflow"
+
+    def test_remove_shard_returns_snapshot_and_remaps_only_its_keys(self):
+        store = ShardedUserSequenceStore(max_seq_len=4, shards=4)
+        before = {user_id: store.shard_for(user_id) for user_id in range(300)}
+        victim = store.shard_ids()[0]
+        store.record(17, [1, 2])
+        snapshot = store.remove_shard(victim)
+        assert set(snapshot) == {"max_seq_len", "capacity", "ttl", "entries"}
+        for user_id, shard in before.items():
+            if shard != victim:
+                assert store.shard_for(user_id) == shard
+        with pytest.raises(KeyError):
+            store.snapshot(victim)
+
+    def test_removed_shard_can_be_rehomed(self):
+        store = ShardedUserSequenceStore(max_seq_len=6, shards=3)
+        users = [user_id for user_id in range(60)
+                 if store.shard_for(user_id) == store.shard_ids()[0]]
+        for user_id in users:
+            store.record(user_id, [user_id % 29, 1])
+        victim = store.shard_ids()[0]
+        snapshot = store.remove_shard(victim)
+        assert all(store.history(user_id) is None or store.shard_for(user_id) != victim
+                   for user_id in users)
+        store.add_shard(victim, snapshot=snapshot)
+        for user_id in users:
+            assert store.history(user_id) == (user_id % 29, 1)
+
+    def test_whole_store_snapshot_round_trips(self):
+        store = ShardedUserSequenceStore(max_seq_len=6, capacity=32, shards=3)
+        for user_id in range(20):
+            store.record(user_id, [user_id % 29, (user_id + 1) % 29])
+        snapshot = store.snapshot()
+        clone = ShardedUserSequenceStore(max_seq_len=6, capacity=32, shards=3)
+        clone.restore(snapshot)
+        for user_id in range(20):
+            assert clone.history(user_id) == store.history(user_id)
+        assert len(clone) == len(store)
+
+    def test_whole_store_restore_requires_matching_topology(self):
+        store = ShardedUserSequenceStore(max_seq_len=6, shards=3)
+        snapshot = store.snapshot()
+        other = ShardedUserSequenceStore(max_seq_len=6, shards=4)
+        with pytest.raises(ValueError, match="shard ids"):
+            other.restore(snapshot)
+
+    def test_restore_rejects_mismatched_geometry(self):
+        store = ShardedUserSequenceStore(max_seq_len=6, shards=2)
+        store.record(1, [1, 2])
+        snapshot = store.snapshot(store.shard_for(1))
+        other = ShardedUserSequenceStore(max_seq_len=8, shards=2)
+        with pytest.raises(ValueError, match="max_seq_len"):
+            other.restore(snapshot, shard_id=other.shard_ids()[0])
+
+    def test_cannot_remove_last_shard(self):
+        store = ShardedUserSequenceStore(max_seq_len=4, shards=1)
+        with pytest.raises(ValueError, match="last shard"):
+            store.remove_shard(store.shard_ids()[0])
+
+    def test_per_shard_ttl_matches_single_store(self):
+        clock = {"now": 0.0}
+        sharded = ShardedUserSequenceStore(max_seq_len=6, capacity=512, ttl=10.0,
+                                           clock=lambda: clock["now"], shards=3)
+        single = UserSequenceStore(max_seq_len=6, capacity=512, ttl=10.0,
+                                   clock=lambda: clock["now"])
+        for store in (sharded, single):
+            store.record(1, [1, 2])
+            store.record(2, [3])
+        clock["now"] = 5.0
+        for store in (sharded, single):
+            store.append_event(2, 4)  # refreshes user 2's stamp
+        clock["now"] = 11.0
+        # User 1's entry (stamp 0.0) is expired, user 2's (stamp 5.0) lives.
+        assert sharded.history(1) is None and single.history(1) is None
+        assert sharded.history(2) == single.history(2) == (3, 4)
+        clock["now"] = 20.0
+        assert sharded.history(2) is None and single.history(2) is None
+
+    def test_capacity_is_divided_across_shards(self):
+        store = ShardedUserSequenceStore(max_seq_len=4, capacity=10, shards=3)
+        budgets = [store.snapshot(shard_id)["capacity"]
+                   for shard_id in store.shard_ids()]
+        assert all(budget == 4 for budget in budgets)  # ceil(10 / 3)
+
+    def test_concurrent_hammering_keeps_entries_consistent(self):
+        store = ShardedUserSequenceStore(max_seq_len=6, capacity=256, shards=4)
+        errors = []
+
+        def hammer(worker_id):
+            try:
+                rng = np.random.default_rng(worker_id)
+                for _ in range(300):
+                    user_id = int(rng.integers(0, 32))
+                    history = [int(x) for x in rng.integers(1, 29, size=3)]
+                    store.encode(user_id, history)
+                    store.record(user_id, [int(rng.integers(1, 29))])
+                    stored = store.history(user_id)
+                    assert stored is not None and len(stored) <= 6
+                    store.encode_stored(user_id)
+            except Exception as error:  # noqa: BLE001 — reported to the main thread
+                errors.append(error)
+
+        pool = [threading.Thread(target=hammer, args=(worker,))
+                for worker in range(6)]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        assert errors == []
+        stats = store.stats
+        assert stats.hits + stats.misses > 0
+
+
+# --------------------------------------------------------------------------- #
+# The registry grows shards
+# --------------------------------------------------------------------------- #
+class TestRegistrySharding:
+    def test_cache_shards_selects_the_sharded_store(self):
+        registry = ModelRegistry(cache_shards=3)
+        registry.register("m", make_model(2))
+        store = registry.get("m").sequence_store
+        assert isinstance(store, ShardedUserSequenceStore)
+        assert len(store.shard_ids()) == 3
+
+    def test_default_stays_unsharded(self):
+        registry = ModelRegistry()
+        registry.register("m", make_model(2))
+        assert isinstance(registry.get("m").sequence_store, UserSequenceStore)
+
+    def test_invalid_shard_count_rejected(self):
+        with pytest.raises(ValueError):
+            ModelRegistry(cache_shards=0)

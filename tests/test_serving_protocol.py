@@ -158,7 +158,7 @@ class TestEnvelope:
     def test_error_codes_are_stable(self):
         assert ERROR_CODES == ("bad_json", "bad_envelope", "unsupported_version",
                                "unknown_head", "unknown_model", "bad_request",
-                               "execution_error")
+                               "execution_error", "overloaded", "timeout")
 
 
 # --------------------------------------------------------------------------- #
