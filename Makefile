@@ -4,11 +4,23 @@
 PYTHON ?= python
 export PYTHONPATH := $(CURDIR)/src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-train bench-rank bench-retrieve bench-serve bench-concurrency docs-check all
+.PHONY: test lint bench bench-train bench-rank bench-retrieve bench-serve bench-concurrency docs-check all
 
 # Tier-1 test suite (the acceptance gate for every PR).
 test:
 	$(PYTHON) -m pytest -x -q
+
+# Static analysis: the in-repo analyzer (lock discipline, kernel purity,
+# protocol completeness, numerics hygiene) against the committed baseline,
+# plus ruff (import order, unused imports, bugbear) when it is installed.
+# CI passes LINT_FLAGS="--format github" to surface findings as annotations.
+lint:
+	$(PYTHON) -m repro.analysis src --baseline analysis-baseline.txt $(LINT_FLAGS)
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests benchmarks examples; \
+	else \
+		echo "lint: ruff not installed; skipped (CI runs it)"; \
+	fi
 
 # Benchmark suite: regenerates the paper's tables/figures and the serving
 # throughput reports into results/*.txt (includes bench-train and bench-rank).
@@ -52,4 +64,4 @@ docs-check:
 	$(PYTHON) docs/check_docs.py README.md
 	$(PYTHON) docs/check_docs.py docs/ARCHITECTURE.md
 
-all: test docs-check
+all: lint test docs-check

@@ -11,9 +11,6 @@ from __future__ import annotations
 
 import time
 
-import numpy as np
-import pytest
-
 from benchmarks.conftest import export_text, run_once
 from repro.core.config import SeqFMConfig
 from repro.core.model import SeqFM

@@ -38,9 +38,9 @@ import numpy as np
 from benchmarks.conftest import export_text, run_once
 from repro.core.config import SeqFMConfig
 from repro.core.model import SeqFM
-from repro.serving import ModelRegistry, ServingRouter, default_heads
+from repro.serving import ModelRegistry, ServingRouter
 from repro.serving.concurrent import ConcurrentServingRouter
-from repro.serving.protocol import parse_envelope, render_response
+from repro.serving.protocol import parse_envelope
 
 NUM_LINES = 1024
 MAX_BATCH = 256

@@ -18,7 +18,7 @@ from __future__ import annotations
 from repro.experiments import reference
 from repro.experiments.registry import build_context
 from repro.experiments.reporting import compare_to_paper
-from repro.experiments.table2 import RANKING_COLUMNS, RANKING_MODELS, run_table2
+from repro.experiments.table2 import RANKING_MODELS, run_table2
 
 
 def main() -> None:

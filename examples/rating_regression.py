@@ -13,8 +13,6 @@ Run with::
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.baselines import HOFM, RRN
 from repro.core import SeqFMConfig, Trainer, TrainerConfig
 from repro.core.tasks import SeqFMRegressor, make_task_model

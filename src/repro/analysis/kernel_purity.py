@@ -1,0 +1,154 @@
+"""kernel-purity: the NumPy kernels stay vectorised and side-effect free.
+
+:mod:`repro.nn.kernels` is the hot path of both serving and training — every
+score the engine produces flows through it, and the performance story of the
+whole repo (batched serving, fused training, the ranking fast path) rests on
+those functions being pure vectorised NumPy.  Three properties make a kernel
+a kernel, and this rule enforces each syntactically:
+
+* **no Python loops over data** — ``for``/``while`` in a kernel runs the
+  interpreter per element instead of BLAS per array.  The deliberate
+  exceptions (block sweeps that iterate ``O(rows / block_size)`` times to
+  bound scratch memory, not per-element) carry an inline
+  ``# repro: allow[kernel-purity]`` where reviewers can see and challenge
+  them.
+* **no assignment into parameters** — kernels never mutate caller arrays:
+  no ``param[...] = ...`` stores, no ``param += ...`` in-place updates, no
+  ``param.sort()``-style mutating calls.  Rebinding the *name* to a fresh
+  array (``scores = np.asarray(scores)``) is fine and idiomatic — once a
+  parameter name is rebound the rule stops treating it as caller-owned.
+* **reductions route through NumPy** — ``sum(x)`` / ``min(x)`` / ``max(x)``
+  over an array is an interpreter loop in disguise; ``np.sum``/``.sum()``
+  keep it vectorised.  The two-argument scalar forms (``min(k, n)``) are
+  not reductions and stay legal.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Sequence, Set
+
+from repro.analysis.core import Finding, Module, Rule, call_name
+
+#: Modules whose top-level functions must be pure vectorised kernels.
+DEFAULT_KERNEL_MODULES = ("repro/nn/kernels.py",)
+
+#: ndarray methods that mutate the receiver in place.
+MUTATING_ARRAY_METHODS = frozenset({
+    "fill", "itemset", "partition", "put", "resize", "setfield", "setflags",
+    "sort",
+})
+
+#: Builtins whose one-argument form is a Python-level reduction over data.
+PYTHON_REDUCTIONS = frozenset({"sum", "min", "max"})
+
+
+class KernelPurityRule(Rule):
+    """Flag interpreter loops, caller-array mutation and Python reductions."""
+
+    rule_id = "kernel-purity"
+    description = ("kernel modules may not loop over data in Python, assign "
+                   "into parameters, or reduce through builtins")
+
+    def __init__(self, kernel_modules: Sequence[str] = DEFAULT_KERNEL_MODULES):
+        self.kernel_modules = tuple(kernel_modules)
+
+    def check_module(self, module: Module) -> Iterable[Finding]:
+        if not any(module.matches(suffix) for suffix in self.kernel_modules):
+            return ()
+        findings: List[Finding] = []
+        for node in module.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._check_kernel(module, node, findings)
+        return findings
+
+    def _check_kernel(self, module: Module, function: ast.FunctionDef,
+                      findings: List[Finding]) -> None:
+        arguments = function.args
+        parameters = {arg.arg for arg in (
+            arguments.posonlyargs + arguments.args + arguments.kwonlyargs)}
+        rebound = self._rebound_names(function)
+        caller_owned = parameters - rebound
+        for node in ast.walk(function):
+            if isinstance(node, (ast.For, ast.AsyncFor, ast.While)):
+                kind = "while" if isinstance(node, ast.While) else "for"
+                findings.append(self._finding(
+                    module, node,
+                    f"Python '{kind}' loop in kernel '{function.name}' — "
+                    "vectorise through NumPy"))
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    self._check_store(module, function, target, caller_owned,
+                                      findings)
+            elif isinstance(node, ast.AugAssign):
+                self._check_augmented(module, function, node, caller_owned,
+                                      findings)
+            elif isinstance(node, ast.Call):
+                self._check_call(module, function, node, caller_owned, findings)
+
+    def _rebound_names(self, function: ast.FunctionDef) -> Set[str]:
+        """Parameter names rebound to fresh objects inside the kernel."""
+        rebound = set()
+        for node in ast.walk(function):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        rebound.add(target.id)
+        return rebound
+
+    def _check_store(self, module: Module, function: ast.FunctionDef,
+                     target: ast.AST, caller_owned: Set[str],
+                     findings: List[Finding]) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._check_store(module, function, element, caller_owned,
+                                  findings)
+            return
+        if isinstance(target, ast.Subscript) and \
+                isinstance(target.value, ast.Name) and \
+                target.value.id in caller_owned:
+            findings.append(self._finding(
+                module, target,
+                f"kernel '{function.name}' assigns into parameter "
+                f"'{target.value.id}' — kernels must not mutate caller arrays"))
+
+    def _check_augmented(self, module: Module, function: ast.FunctionDef,
+                         node: ast.AugAssign, caller_owned: Set[str],
+                         findings: List[Finding]) -> None:
+        target = node.target
+        name = None
+        if isinstance(target, ast.Name):
+            name = target.id
+        elif isinstance(target, ast.Subscript) and isinstance(target.value, ast.Name):
+            name = target.value.id
+        if name in caller_owned:
+            findings.append(self._finding(
+                module, node,
+                f"kernel '{function.name}' updates parameter '{name}' in "
+                "place — kernels must not mutate caller arrays"))
+
+    def _check_call(self, module: Module, function: ast.FunctionDef,
+                    node: ast.Call, caller_owned: Set[str],
+                    findings: List[Finding]) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute) and \
+                func.attr in MUTATING_ARRAY_METHODS and \
+                isinstance(func.value, ast.Name) and \
+                func.value.id in caller_owned:
+            findings.append(self._finding(
+                module, node,
+                f"kernel '{function.name}' calls mutating "
+                f"'{func.value.id}.{func.attr}()' on a parameter — kernels "
+                "must not mutate caller arrays"))
+            return
+        name = call_name(node)
+        if name in PYTHON_REDUCTIONS and len(node.args) == 1 and not node.keywords:
+            findings.append(self._finding(
+                module, node,
+                f"kernel '{function.name}' reduces through builtin "
+                f"'{name}()' — route reductions through NumPy"))
+
+    def _finding(self, module: Module, node: ast.AST, message: str) -> Finding:
+        return Finding(path=module.path, line=node.lineno,
+                       col=node.col_offset + 1, rule=self.rule_id,
+                       message=message)

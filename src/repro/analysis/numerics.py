@@ -1,0 +1,115 @@
+"""numerics-hygiene: no float-literal equality, no unseeded global RNG in src/.
+
+Two classes of numerical foot-gun this repo has no excuse for, given that its
+whole purpose is *reproducing* a paper:
+
+* **float-literal equality** — ``x == 0.3`` is almost never the predicate
+  the author meant once ``x`` has been through a BLAS call; comparisons
+  against float literals should be inequalities or tolerance checks
+  (``math.isclose`` / ``np.isclose``).  Exact zero-checks that are genuinely
+  intended (sentinel values) take an inline
+  ``# repro: allow[numerics-hygiene]``.
+* **unseeded randomness** — the legacy global-state API
+  (``np.random.rand``, ``np.random.seed``, ...) is process-global and
+  unseedable per call site, and ``np.random.default_rng()`` /
+  ``np.random.RandomState()`` without a seed produce different streams on
+  every run.  Every RNG in ``src/`` must be an explicitly seeded
+  ``Generator`` so experiments, index builds and synthetic traffic replay
+  identically.
+
+Tests, benchmarks and examples are exempt — exercising an API with
+throwaway randomness there is fine; the reproduction path is not allowed to.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Sequence
+
+from repro.analysis.core import Finding, Module, Rule, dotted_name
+
+#: Path fragments whose modules this rule skips entirely.
+DEFAULT_EXEMPT_PARTS = ("tests/", "benchmarks/", "examples/", "docs/")
+
+#: Legacy global-RNG entry points: process-global state, no local seeding.
+LEGACY_GLOBAL_RNG = frozenset({
+    "beta", "binomial", "bytes", "choice", "exponential", "gamma",
+    "geometric", "normal", "permutation", "poisson", "rand", "randint",
+    "randn", "random", "random_sample", "ranf", "sample", "seed", "shuffle",
+    "standard_normal", "uniform",
+})
+
+#: Constructors that are fine *with* a seed argument, flagged without one.
+SEEDABLE_CONSTRUCTORS = frozenset({"default_rng", "RandomState"})
+
+
+class NumericsHygieneRule(Rule):
+    """Flag float-literal equality and unseeded NumPy randomness."""
+
+    rule_id = "numerics-hygiene"
+    description = ("no equality against float literals and no unseeded "
+                   "np.random use outside tests/benchmarks/examples")
+
+    def __init__(self, exempt_parts: Sequence[str] = DEFAULT_EXEMPT_PARTS):
+        self.exempt_parts = tuple(exempt_parts)
+
+    def check_module(self, module: Module) -> Iterable[Finding]:
+        if any(part in module.path for part in self.exempt_parts):
+            return ()
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Compare):
+                self._check_compare(module, node, findings)
+            elif isinstance(node, ast.Call):
+                self._check_random(module, node, findings)
+        return findings
+
+    def _check_compare(self, module: Module, node: ast.Compare,
+                       findings: List[Finding]) -> None:
+        operands = [node.left] + list(node.comparators)
+        for operator, left, right in zip(node.ops, operands, operands[1:]):
+            if not isinstance(operator, (ast.Eq, ast.NotEq)):
+                continue
+            for operand in (left, right):
+                if isinstance(operand, ast.Constant) \
+                        and isinstance(operand.value, float):
+                    symbol = "==" if isinstance(operator, ast.Eq) else "!="
+                    findings.append(self._finding(
+                        module, node,
+                        f"floating-point equality '{symbol} {operand.value!r}'"
+                        " — compare with a tolerance or an inequality"))
+                    break
+
+    def _check_random(self, module: Module, node: ast.Call,
+                      findings: List[Finding]) -> None:
+        name = dotted_name(node.func)
+        if name is None:
+            return
+        parts = name.split(".")
+        # np.random.X(...) / numpy.random.X(...)
+        if len(parts) == 3 and parts[0] in ("np", "numpy") \
+                and parts[1] == "random":
+            attr = parts[2]
+            if attr in LEGACY_GLOBAL_RNG:
+                findings.append(self._finding(
+                    module, node,
+                    f"call to the process-global RNG 'np.random.{attr}()' — "
+                    "use an explicitly seeded np.random.default_rng(seed)"))
+            elif attr in SEEDABLE_CONSTRUCTORS and not node.args \
+                    and not node.keywords:
+                findings.append(self._finding(
+                    module, node,
+                    f"unseeded 'np.random.{attr}()' — pass an explicit seed "
+                    "so runs reproduce"))
+        # from numpy.random import default_rng; default_rng()
+        elif len(parts) == 1 and parts[0] in SEEDABLE_CONSTRUCTORS \
+                and not node.args and not node.keywords:
+            findings.append(self._finding(
+                module, node,
+                f"unseeded '{parts[0]}()' — pass an explicit seed so runs "
+                "reproduce"))
+
+    def _finding(self, module: Module, node: ast.AST, message: str) -> Finding:
+        return Finding(path=module.path, line=node.lineno,
+                       col=node.col_offset + 1, rule=self.rule_id,
+                       message=message)

@@ -1,0 +1,287 @@
+"""protocol-completeness: heads, error codes and CLI routes stay mutually complete.
+
+The PR-5 protocol layer is three registries that must agree: the
+:class:`~repro.serving.protocol.Head` subclasses, the
+:class:`~repro.serving.protocol.HeadRegistry` they are registered in, and
+the CLI surface that routes traffic to them — plus the ``ERROR_CODES`` tuple
+that every structured error must come from.  Each is trivially easy to
+extend and trivially easy to extend *incompletely*: a new head that parses
+and executes but is unreachable from the CLI, an ``ERR_*`` constant raised
+but never added to the stable-code contract.  Nothing crashes; clients just
+meet a server that silently lacks the endpoint or emits an undocumented
+code.
+
+This whole-project rule closes the loop syntactically:
+
+* every ``Head`` subclass that declares a wire ``name`` must appear in a
+  ``HeadRegistry([...])`` construction or ``.register(...)`` call;
+* every ``ERR_*`` constant defined in the protocol module must be a member
+  of ``ERROR_CODES``, and every ``ProtocolError(...)`` /
+  ``error_response(...)`` call site naming a code (by constant or by string
+  literal) must name a member of ``ERROR_CODES``;
+* every registered head name must be routable from the CLI — present in the
+  ``head_choices`` tuples or the ``COMMAND_HEADS`` map of
+  :mod:`repro.experiments.cli`.
+
+The rule needs the protocol module, the head definitions and the CLI in one
+view, so it runs as a project rule; when the analyzed path set does not
+include the protocol module (fixture runs, single-file invocations) it
+reports nothing rather than guessing.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.analysis.core import Finding, Module, Project, Rule
+
+#: Where the protocol (heads, registry, error codes) lives.
+DEFAULT_PROTOCOL_MODULE = "repro/serving/protocol.py"
+
+#: Where the CLI serving routes live.
+DEFAULT_CLI_MODULE = "repro/experiments/cli.py"
+
+#: Variables in the CLI module whose string contents are serving routes.
+ROUTE_VARIABLES = ("head_choices",)
+ROUTE_DICTS = ("COMMAND_HEADS",)
+
+
+class _HeadClass:
+    """One Head-derived class as found in the source."""
+
+    def __init__(self, module: Module, node: ast.ClassDef,
+                 wire_name: Optional[str]):
+        self.module = module
+        self.node = node
+        self.wire_name = wire_name
+
+
+class ProtocolCompletenessRule(Rule):
+    """Cross-check heads ↔ registry ↔ error codes ↔ CLI routes."""
+
+    rule_id = "protocol-completeness"
+    description = ("every Head subclass is registered, every raised error "
+                   "code is in ERROR_CODES, every registered head has a CLI "
+                   "route")
+
+    def __init__(self, protocol_module: str = DEFAULT_PROTOCOL_MODULE,
+                 cli_module: str = DEFAULT_CLI_MODULE):
+        self.protocol_module = protocol_module
+        self.cli_module = cli_module
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        protocol = project.find(self.protocol_module)
+        if protocol is None:
+            return ()
+        findings: List[Finding] = []
+        head_classes = self._head_classes(project)
+        registered = self._registered_heads(project, head_classes)
+        self._check_registration(head_classes, registered, findings)
+        self._check_error_codes(project, protocol, findings)
+        self._check_cli_routes(project, registered, findings)
+        return findings
+
+    # ------------------------------------------------------------------ #
+    # Head subclasses and their registrations
+    # ------------------------------------------------------------------ #
+    def _head_classes(self, project: Project) -> Dict[str, _HeadClass]:
+        """Every class transitively derived from ``Head``, by class name."""
+        classes: Dict[str, Tuple[Module, ast.ClassDef, List[str]]] = {}
+        for module in project.modules:
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.ClassDef):
+                    bases = []
+                    for base in node.bases:
+                        if isinstance(base, ast.Name):
+                            bases.append(base.id)
+                        elif isinstance(base, ast.Attribute):
+                            bases.append(base.attr)
+                    classes[node.name] = (module, node, bases)
+
+        derived: Set[str] = {"Head"}
+        changed = True
+        while changed:
+            changed = False
+            for name, (_, _, bases) in classes.items():
+                if name not in derived and any(base in derived for base in bases):
+                    derived.add(name)
+                    changed = True
+
+        heads: Dict[str, _HeadClass] = {}
+        for name in derived - {"Head"}:
+            module, node, _ = classes[name]
+            heads[name] = _HeadClass(module, node, self._class_wire_name(node))
+        return heads
+
+    @staticmethod
+    def _class_wire_name(node: ast.ClassDef) -> Optional[str]:
+        """The class-level ``name = "..."`` wire name, if declared non-empty."""
+        for statement in node.body:
+            if isinstance(statement, ast.Assign):
+                for target in statement.targets:
+                    if isinstance(target, ast.Name) and target.id == "name" \
+                            and isinstance(statement.value, ast.Constant) \
+                            and isinstance(statement.value.value, str) \
+                            and statement.value.value:
+                        return statement.value.value
+            elif isinstance(statement, ast.AnnAssign) \
+                    and isinstance(statement.target, ast.Name) \
+                    and statement.target.id == "name" \
+                    and isinstance(statement.value, ast.Constant) \
+                    and isinstance(statement.value.value, str) \
+                    and statement.value.value:
+                return statement.value.value
+        return None
+
+    def _registered_heads(self, project: Project,
+                          head_classes: Dict[str, _HeadClass]) -> Dict[str, Tuple[Module, ast.AST]]:
+        """Wire names registered in any HeadRegistry, with their call sites."""
+        registered: Dict[str, Tuple[Module, ast.AST]] = {}
+
+        def record(expression: ast.AST, module: Module) -> None:
+            if not isinstance(expression, ast.Call):
+                return
+            func = expression.func
+            class_name = func.id if isinstance(func, ast.Name) else (
+                func.attr if isinstance(func, ast.Attribute) else None)
+            if class_name is None:
+                return
+            # name-parameterised heads take the wire name as first argument
+            if expression.args and isinstance(expression.args[0], ast.Constant) \
+                    and isinstance(expression.args[0].value, str):
+                registered.setdefault(expression.args[0].value,
+                                      (module, expression))
+                return
+            head = head_classes.get(class_name)
+            if head is not None and head.wire_name is not None:
+                registered.setdefault(head.wire_name, (module, expression))
+
+        for module in project.modules:
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                func = node.func
+                if isinstance(func, ast.Name) and func.id == "HeadRegistry":
+                    for argument in node.args:
+                        if isinstance(argument, (ast.List, ast.Tuple)):
+                            for element in argument.elts:
+                                record(element, module)
+                elif isinstance(func, ast.Attribute) and func.attr == "register":
+                    for argument in node.args:
+                        record(argument, module)
+        return registered
+
+    def _check_registration(self, head_classes: Dict[str, _HeadClass],
+                            registered: Dict[str, Tuple[Module, ast.AST]],
+                            findings: List[Finding]) -> None:
+        for class_name, head in sorted(head_classes.items()):
+            if head.wire_name is None:  # abstract / name-parameterised base
+                continue
+            if head.wire_name not in registered:
+                findings.append(Finding(
+                    path=head.module.path, line=head.node.lineno,
+                    col=head.node.col_offset + 1, rule=self.rule_id,
+                    message=f"head class '{class_name}' (wire name "
+                            f"'{head.wire_name}') is never registered in a "
+                            "HeadRegistry"))
+
+    # ------------------------------------------------------------------ #
+    # Error codes
+    # ------------------------------------------------------------------ #
+    def _check_error_codes(self, project: Project, protocol: Module,
+                           findings: List[Finding]) -> None:
+        constants: Dict[str, str] = {}
+        constant_nodes: Dict[str, ast.AST] = {}
+        members: Set[str] = set()
+        for node in protocol.tree.body:
+            if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                    and isinstance(node.targets[0], ast.Name):
+                target = node.targets[0].id
+                if target.startswith("ERR_") \
+                        and isinstance(node.value, ast.Constant) \
+                        and isinstance(node.value.value, str):
+                    constants[target] = node.value.value
+                    constant_nodes[target] = node
+                elif target == "ERROR_CODES" \
+                        and isinstance(node.value, (ast.Tuple, ast.List)):
+                    for element in node.value.elts:
+                        if isinstance(element, ast.Name):
+                            members.add(element.id)
+        if not members:
+            return
+        code_values = {constants[name] for name in members if name in constants}
+
+        for name, node in sorted(constant_nodes.items()):
+            if name not in members:
+                findings.append(Finding(
+                    path=protocol.path, line=node.lineno,
+                    col=node.col_offset + 1, rule=self.rule_id,
+                    message=f"error code constant '{name}' is missing from "
+                            "ERROR_CODES"))
+
+        for module in project.modules:
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.Call) or not node.args:
+                    continue
+                func = node.func
+                callee = func.id if isinstance(func, ast.Name) else (
+                    func.attr if isinstance(func, ast.Attribute) else None)
+                if callee not in ("ProtocolError", "error_response"):
+                    continue
+                code = node.args[0]
+                if isinstance(code, ast.Name) and code.id.startswith("ERR_"):
+                    if code.id not in members:
+                        findings.append(Finding(
+                            path=module.path, line=node.lineno,
+                            col=node.col_offset + 1, rule=self.rule_id,
+                            message=f"{callee}() raises '{code.id}' which is "
+                                    "not a member of ERROR_CODES"))
+                elif isinstance(code, ast.Constant) and isinstance(code.value, str):
+                    if code.value not in code_values:
+                        findings.append(Finding(
+                            path=module.path, line=node.lineno,
+                            col=node.col_offset + 1, rule=self.rule_id,
+                            message=f"{callee}() raises literal code "
+                                    f"'{code.value}' which is not in "
+                                    "ERROR_CODES"))
+
+    # ------------------------------------------------------------------ #
+    # CLI routes
+    # ------------------------------------------------------------------ #
+    def _check_cli_routes(self, project: Project,
+                          registered: Dict[str, Tuple[Module, ast.AST]],
+                          findings: List[Finding]) -> None:
+        cli = project.find(self.cli_module)
+        if cli is None:
+            return
+        routes: Set[str] = set()
+        for node in ast.walk(cli.tree):
+            if isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = node.targets if isinstance(node, ast.Assign) \
+                    else [node.target]
+                for target in targets:
+                    if not isinstance(target, ast.Name):
+                        continue
+                    if target.id in ROUTE_VARIABLES:
+                        routes.update(self._string_constants(node.value))
+                    elif target.id in ROUTE_DICTS \
+                            and isinstance(node.value, ast.Dict):
+                        for value in node.value.values:
+                            routes.update(self._string_constants(value))
+        if not routes:
+            return
+        for name, (module, node) in sorted(registered.items()):
+            if name not in routes:
+                findings.append(Finding(
+                    path=module.path, line=node.lineno,
+                    col=node.col_offset + 1, rule=self.rule_id,
+                    message=f"registered head '{name}' has no CLI serving "
+                            "route (head_choices / COMMAND_HEADS in "
+                            f"{self.cli_module})"))
+
+    @staticmethod
+    def _string_constants(node: ast.AST) -> Iterable[str]:
+        for child in ast.walk(node):
+            if isinstance(child, ast.Constant) and isinstance(child.value, str):
+                yield child.value

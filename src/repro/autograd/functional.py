@@ -110,7 +110,7 @@ def dropout(x: Tensor, ratio: float, training: bool, rng: np.random.Generator) -
     """
     if not 0.0 <= ratio < 1.0:
         raise ValueError(f"dropout ratio must be in [0, 1), got {ratio}")
-    if not training or ratio == 0.0:
+    if not training or ratio <= 0.0:
         return as_tensor(x)
     x = as_tensor(x)
     keep_probability = 1.0 - ratio

@@ -10,8 +10,6 @@ only contains its distinctive interaction structure.
 
 from __future__ import annotations
 
-from typing import Optional
-
 import numpy as np
 
 from repro.autograd.tensor import Tensor, no_grad

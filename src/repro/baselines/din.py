@@ -12,8 +12,6 @@ paper lists it as a strong but sequence-unaware CTR baseline.
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.autograd.tensor import Tensor
 from repro.baselines.base import BaselineScorer
 from repro.data.features import FeatureBatch

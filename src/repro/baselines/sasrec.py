@@ -11,15 +11,14 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.autograd import functional as F
 from repro.autograd.tensor import Tensor
 from repro.baselines.base import BaselineScorer
 from repro.core import masks as mask_lib
 from repro.data.features import FeatureBatch
+from repro.nn import init
 from repro.nn.attention import SelfAttention
 from repro.nn.feedforward import ResidualFeedForward
 from repro.nn.module import Parameter
-from repro.nn import init
 
 
 class SASRec(BaselineScorer):

@@ -18,8 +18,6 @@ from __future__ import annotations
 
 from typing import List
 
-import numpy as np
-
 from repro.autograd.tensor import Tensor
 from repro.baselines.base import BaselineScorer
 from repro.data.features import FeatureBatch

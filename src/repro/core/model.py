@@ -12,7 +12,7 @@ representations after the shared residual feed-forward network.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 import numpy as np
 

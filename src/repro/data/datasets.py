@@ -11,9 +11,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict
 
+from repro.data import synthetic
 from repro.data.interactions import InteractionLog
 from repro.data.preprocess import chronological_sort, filter_by_activity
-from repro.data import synthetic
 
 
 @dataclass(frozen=True)

@@ -15,7 +15,7 @@ provides the standard tools for deciding whether a gap is meaningful:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional, Sequence
+from typing import Callable, Sequence
 
 import numpy as np
 

@@ -182,7 +182,9 @@ def blocked_topk_matmul(
         return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64)
     survivor_indices = []
     survivor_scores = []
-    for start in range(0, rows, block_size):
+    # block sweep: O(rows / block_size) iterations to bound scratch memory,
+    # not a per-element loop — each iteration is one BLAS matmul
+    for start in range(0, rows, block_size):  # repro: allow[kernel-purity]
         block_scores = matrix[start:start + block_size] @ query
         if row_bias is not None:
             block_scores = block_scores + row_bias[start:start + block_size]
@@ -218,7 +220,9 @@ def kmeans_assign(
         raise ValueError("block_size must be positive")
     centroid_norms = (centroids * centroids).sum(axis=1)  # (k,)
     assignments = np.empty(points.shape[0], dtype=np.int64)
-    for start in range(0, points.shape[0], block_size):
+    # block sweep: bounds the (block, k) distance matrix instead of
+    # materialising all n×k distances at once; one BLAS call per iteration
+    for start in range(0, points.shape[0], block_size):  # repro: allow[kernel-purity]
         block = points[start:start + block_size]
         distances = centroid_norms[None, :] - 2.0 * (block @ centroids.T)
         assignments[start:start + block.shape[0]] = distances.argmin(axis=1)

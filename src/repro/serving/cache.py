@@ -219,7 +219,7 @@ class UserSequenceStore:
         with self._lock:
             return self._peek(user_id) is not None
 
-    def _peek(self, user_id: int) -> Optional[_CachedSequence]:
+    def _peek(self, user_id: int) -> Optional[_CachedSequence]:  # repro: locked[_lock]
         """The live cached entry, dropping (and counting) TTL-expired ones."""
         cached = self._cache.get(user_id)
         if cached is None:

@@ -8,11 +8,11 @@ import pytest
 
 from repro.core.config import SeqFMConfig
 from repro.core.model import SeqFM
+from repro.data import synthetic
 from repro.data.features import FeatureBatch, FeatureEncoder
 from repro.data.interactions import Interaction, InteractionLog
 from repro.data.sampling import NegativeSampler
 from repro.data.split import leave_one_out_split
-from repro.data import synthetic
 
 
 @pytest.fixture

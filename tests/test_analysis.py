@@ -1,0 +1,413 @@
+"""The static analyzer: each rule on fixture snippets, plus the CLI contract.
+
+Every rule is exercised three ways — a bad snippet flagged at the expected
+line, a good snippet that passes, and the escape hatches (``with self._lock:``
+scoping, ``# repro: locked`` annotations, ``# repro: allow[...]``
+suppressions, the committed baseline).  The CLI tests pin the exit-code
+contract (0 clean / 1 findings / 2 usage error) and the real-tree test keeps
+``src/`` clean against ``analysis-baseline.txt`` forever.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    KernelPurityRule,
+    LockDisciplineRule,
+    NumericsHygieneRule,
+    ProtocolCompletenessRule,
+    SYNTAX_ERROR_RULE,
+    analyze,
+)
+from repro.analysis.__main__ import main as analysis_main
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def run(tmp_path, files, rules, baseline=()):
+    """Write ``files`` (path → snippet) under tmp_path and analyze them."""
+    for relative, source in files.items():
+        path = tmp_path / relative
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return analyze([tmp_path], rules, root=tmp_path, baseline=list(baseline))
+
+
+# --------------------------------------------------------------------------- #
+# lock-discipline
+# --------------------------------------------------------------------------- #
+LOCK_RULE = LockDisciplineRule(
+    shared_state={"store.py": {"Store": {"_items": "_lock"}}})
+
+
+class TestLockDiscipline:
+    def test_unlocked_write_is_flagged_at_its_line(self, tmp_path):
+        report = run(tmp_path, {"store.py": """\
+            class Store:
+                def drop(self, key):
+                    self._items.pop(key)
+            """}, [LOCK_RULE])
+        assert [(f.rule, f.line) for f in report.findings] == \
+            [("lock-discipline", 3)]
+        assert "_items.pop()" in report.findings[0].message
+
+    def test_write_inside_with_lock_passes(self, tmp_path):
+        report = run(tmp_path, {"store.py": """\
+            class Store:
+                def drop(self, key):
+                    with self._lock:
+                        self._items.pop(key)
+                        self._items = {}
+            """}, [LOCK_RULE])
+        assert report.ok and not report.suppressed
+
+    def test_wrong_lock_does_not_count(self, tmp_path):
+        report = run(tmp_path, {"store.py": """\
+            class Store:
+                def drop(self, key):
+                    with self._other_lock:
+                        self._items = {}
+            """}, [LOCK_RULE])
+        assert [f.line for f in report.findings] == [4]
+
+    def test_init_is_exempt(self, tmp_path):
+        report = run(tmp_path, {"store.py": """\
+            class Store:
+                def __init__(self):
+                    self._items = {}
+            """}, [LOCK_RULE])
+        assert report.ok
+
+    def test_locked_annotation_asserts_callers_hold_the_lock(self, tmp_path):
+        report = run(tmp_path, {"store.py": """\
+            class Store:
+                def _drop(self, key):  # repro: locked[_lock]
+                    self._items.pop(key)
+            """}, [LOCK_RULE])
+        assert report.ok
+
+    def test_nested_function_does_not_inherit_the_lock(self, tmp_path):
+        report = run(tmp_path, {"store.py": """\
+            class Store:
+                def schedule(self):
+                    with self._lock:
+                        def later():
+                            self._items = {}
+                        return later
+            """}, [LOCK_RULE])
+        assert [f.line for f in report.findings] == [5]
+
+    def test_allow_comment_suppresses(self, tmp_path):
+        report = run(tmp_path, {"store.py": """\
+            class Store:
+                def drop(self, key):
+                    self._items.pop(key)  # repro: allow[lock-discipline]
+            """}, [LOCK_RULE])
+        assert report.ok and len(report.suppressed) == 1
+
+
+# --------------------------------------------------------------------------- #
+# kernel-purity
+# --------------------------------------------------------------------------- #
+KERNEL_RULE = KernelPurityRule(kernel_modules=("kern.py",))
+
+
+class TestKernelPurity:
+    def test_loop_over_data_is_flagged(self, tmp_path):
+        report = run(tmp_path, {"kern.py": """\
+            def score(rows):
+                total = 0.0
+                for row in rows:
+                    total = total + row
+                return total
+            """}, [KERNEL_RULE])
+        assert [(f.rule, f.line) for f in report.findings] == \
+            [("kernel-purity", 3)]
+
+    def test_parameter_mutation_is_flagged(self, tmp_path):
+        report = run(tmp_path, {"kern.py": """\
+            def normalise(scores, out):
+                out[:] = scores
+                out += 1.0
+                out.sort()
+            """}, [KERNEL_RULE])
+        assert [f.line for f in report.findings] == [2, 3, 4]
+
+    def test_builtin_reduction_is_flagged_but_scalar_min_is_not(self, tmp_path):
+        report = run(tmp_path, {"kern.py": """\
+            def reduce(scores, k):
+                top = min(k, 10)
+                return sum(scores) + top
+            """}, [KERNEL_RULE])
+        assert [f.line for f in report.findings] == [3]
+        assert "sum()" in report.findings[0].message
+
+    def test_vectorised_kernel_with_rebound_parameter_passes(self, tmp_path):
+        report = run(tmp_path, {"kern.py": """\
+            import numpy as np
+
+            def score(matrix, query):
+                query = np.asarray(query, dtype=np.float64)
+                query /= np.linalg.norm(query)
+                return matrix @ query
+            """}, [KERNEL_RULE])
+        assert report.ok
+
+    def test_allowed_block_sweep_passes(self, tmp_path):
+        report = run(tmp_path, {"kern.py": """\
+            def sweep(matrix, block):
+                for start in range(0, 10, block):  # repro: allow[kernel-purity]
+                    pass
+            """}, [KERNEL_RULE])
+        assert report.ok and len(report.suppressed) == 1
+
+    def test_non_kernel_module_is_ignored(self, tmp_path):
+        report = run(tmp_path, {"other.py": """\
+            def anything(rows):
+                for row in rows:
+                    pass
+            """}, [KERNEL_RULE])
+        assert report.ok
+
+
+# --------------------------------------------------------------------------- #
+# protocol-completeness
+# --------------------------------------------------------------------------- #
+PROTO_RULE = ProtocolCompletenessRule(protocol_module="proto/protocol.py",
+                                      cli_module="proto/cli.py")
+
+PROTOCOL_OK = """\
+    ERR_BAD = "bad-request"
+    ERR_LOST = "lost"
+    ERROR_CODES = (ERR_BAD, ERR_LOST)
+
+    class Head:
+        name = ""
+
+    class ScoreHead(Head):
+        name = "score"
+
+    REGISTRY = HeadRegistry([ScoreHead()])
+
+    def fail():
+        raise ProtocolError(ERR_BAD, "nope")
+    """
+
+CLI_OK = """\
+    head_choices = ("score",)
+    """
+
+
+class TestProtocolCompleteness:
+    def test_complete_protocol_passes(self, tmp_path):
+        report = run(tmp_path, {"proto/protocol.py": PROTOCOL_OK,
+                                "proto/cli.py": CLI_OK}, [PROTO_RULE])
+        assert report.ok
+
+    def test_unregistered_head_is_flagged_at_its_class(self, tmp_path):
+        source = PROTOCOL_OK + """
+    class RankHead(Head):
+        name = "rank"
+    """
+        report = run(tmp_path, {"proto/protocol.py": source,
+                                "proto/cli.py": CLI_OK}, [PROTO_RULE])
+        assert len(report.findings) == 1
+        assert "RankHead" in report.findings[0].message
+        assert "never registered" in report.findings[0].message
+
+    def test_error_code_missing_from_tuple_is_flagged(self, tmp_path):
+        source = PROTOCOL_OK.replace("ERROR_CODES = (ERR_BAD, ERR_LOST)",
+                                     "ERROR_CODES = (ERR_BAD,)")
+        report = run(tmp_path, {"proto/protocol.py": source,
+                                "proto/cli.py": CLI_OK}, [PROTO_RULE])
+        assert [f.message for f in report.findings] == \
+            ["error code constant 'ERR_LOST' is missing from ERROR_CODES"]
+
+    def test_raising_an_undeclared_code_is_flagged(self, tmp_path):
+        source = PROTOCOL_OK + """
+    def fail_harder():
+        raise ProtocolError("unheard-of", "nope")
+    """
+        report = run(tmp_path, {"proto/protocol.py": source,
+                                "proto/cli.py": CLI_OK}, [PROTO_RULE])
+        assert len(report.findings) == 1
+        assert "'unheard-of'" in report.findings[0].message
+
+    def test_registered_head_without_cli_route_is_flagged(self, tmp_path):
+        report = run(tmp_path, {"proto/protocol.py": PROTOCOL_OK,
+                                "proto/cli.py": 'head_choices = ("other",)\n'},
+                     [PROTO_RULE])
+        assert len(report.findings) == 1
+        assert "no CLI serving route" in report.findings[0].message
+
+    def test_rule_is_silent_without_the_protocol_module(self, tmp_path):
+        report = run(tmp_path, {"lone.py": "x = 1\n"}, [PROTO_RULE])
+        assert report.ok
+
+
+# --------------------------------------------------------------------------- #
+# numerics-hygiene
+# --------------------------------------------------------------------------- #
+NUM_RULE = NumericsHygieneRule()
+
+
+class TestNumericsHygiene:
+    def test_float_equality_is_flagged(self, tmp_path):
+        report = run(tmp_path, {"maths.py": """\
+            def check(x):
+                return x == 0.3
+            """}, [NUM_RULE])
+        assert [(f.rule, f.line) for f in report.findings] == \
+            [("numerics-hygiene", 2)]
+        assert "== 0.3" in report.findings[0].message
+
+    def test_integer_equality_and_inequalities_pass(self, tmp_path):
+        report = run(tmp_path, {"maths.py": """\
+            def check(x):
+                return x == 0 or x <= 0.5
+            """}, [NUM_RULE])
+        assert report.ok
+
+    def test_unseeded_rng_and_global_rng_are_flagged(self, tmp_path):
+        report = run(tmp_path, {"rng.py": """\
+            import numpy as np
+            a = np.random.default_rng()
+            b = np.random.rand(3)
+            """}, [NUM_RULE])
+        assert [f.line for f in report.findings] == [2, 3]
+
+    def test_seeded_rng_passes(self, tmp_path):
+        report = run(tmp_path, {"rng.py": """\
+            import numpy as np
+            a = np.random.default_rng(7)
+            b = np.random.default_rng(seed=7)
+            """}, [NUM_RULE])
+        assert report.ok
+
+    def test_tests_and_benchmarks_are_exempt(self, tmp_path):
+        snippet = "import numpy as np\nx = np.random.rand(3)\n"
+        report = run(tmp_path, {"tests/test_x.py": snippet,
+                                "benchmarks/bench_x.py": snippet}, [NUM_RULE])
+        assert report.ok
+
+
+# --------------------------------------------------------------------------- #
+# Framework: baseline, syntax errors, determinism
+# --------------------------------------------------------------------------- #
+class TestFramework:
+    def test_baseline_grandfathers_and_reports_stale_entries(self, tmp_path):
+        baseline = [
+            "maths.py :: numerics-hygiene :: floating-point equality "
+            "'== 0.3' — compare with a tolerance or an inequality",
+            "gone.py :: numerics-hygiene :: long-paid debt",
+        ]
+        report = run(tmp_path, {"maths.py": "x = 1 == 0.3\n"}, [NUM_RULE],
+                     baseline=baseline)
+        assert report.ok
+        assert len(report.baselined) == 1
+        assert report.stale_baseline == [baseline[1]]
+
+    def test_baseline_key_survives_line_shifts(self, tmp_path):
+        report = run(tmp_path, {"maths.py": "x = 1 == 0.3\n"}, [NUM_RULE])
+        key = report.findings[0].key()
+        shifted = run(tmp_path, {"maths.py": "# pushed down\n\nx = 1 == 0.3\n"},
+                      [NUM_RULE], baseline=[key])
+        assert shifted.ok and len(shifted.baselined) == 1
+
+    def test_unparseable_file_is_a_finding_not_a_crash(self, tmp_path):
+        report = run(tmp_path, {"broken.py": "def broken(:\n",
+                                "fine.py": "x = 1\n"}, [NUM_RULE])
+        assert [f.rule for f in report.findings] == [SYNTAX_ERROR_RULE]
+        assert report.findings[0].path == "broken.py"
+
+    def test_report_order_is_deterministic(self, tmp_path):
+        files = {"b.py": "x = 1 == 0.3\n", "a.py": "y = 2 == 0.5\nz = 3 == 0.5\n"}
+        first = run(tmp_path, files, [NUM_RULE])
+        second = analyze([tmp_path / "b.py", tmp_path / "a.py"], [NUM_RULE],
+                         root=tmp_path)
+        rendered = [f.render() for f in first.findings]
+        assert rendered == [f.render() for f in second.findings]
+        assert rendered == sorted(rendered)
+
+
+# --------------------------------------------------------------------------- #
+# CLI: exit codes and output formats
+# --------------------------------------------------------------------------- #
+class TestCli:
+    def test_exit_zero_on_clean_tree(self, tmp_path, capsys):
+        (tmp_path / "clean.py").write_text("x = 1\n", encoding="utf-8")
+        assert analysis_main([str(tmp_path), "--root", str(tmp_path)]) == 0
+        assert "0 finding(s)" in capsys.readouterr().err
+
+    def test_exit_one_on_findings_with_location(self, tmp_path, capsys):
+        (tmp_path / "dirty.py").write_text("x = 1 == 0.3\n", encoding="utf-8")
+        assert analysis_main([str(tmp_path), "--root", str(tmp_path)]) == 1
+        assert "dirty.py:1:5: numerics-hygiene" in capsys.readouterr().out
+
+    def test_github_format_renders_annotations(self, tmp_path, capsys):
+        (tmp_path / "dirty.py").write_text("x = 1 == 0.3\n", encoding="utf-8")
+        assert analysis_main([str(tmp_path), "--root", str(tmp_path),
+                              "--format", "github"]) == 1
+        out = capsys.readouterr().out
+        assert out.startswith("::error file=dirty.py,line=1,col=5,"
+                              "title=numerics-hygiene::")
+
+    def test_exit_two_on_unknown_rule(self, tmp_path, capsys):
+        (tmp_path / "clean.py").write_text("x = 1\n", encoding="utf-8")
+        assert analysis_main([str(tmp_path), "--select", "no-such-rule"]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_exit_two_on_missing_path(self, tmp_path, capsys):
+        assert analysis_main([str(tmp_path / "absent")]) == 2
+        assert "no such path" in capsys.readouterr().err
+
+    def test_write_baseline_round_trips_to_a_clean_run(self, tmp_path, capsys):
+        (tmp_path / "dirty.py").write_text("x = 1 == 0.3\n", encoding="utf-8")
+        baseline = tmp_path / "baseline.txt"
+        assert analysis_main([str(tmp_path / "dirty.py"), "--root",
+                              str(tmp_path), "--write-baseline",
+                              str(baseline)]) == 0
+        assert analysis_main([str(tmp_path / "dirty.py"), "--root",
+                              str(tmp_path), "--baseline", str(baseline)]) == 0
+        assert "1 baselined" in capsys.readouterr().err
+
+    def test_select_restricts_the_rules_run(self, tmp_path, capsys):
+        (tmp_path / "dirty.py").write_text("x = 1 == 0.3\n", encoding="utf-8")
+        assert analysis_main([str(tmp_path), "--root", str(tmp_path),
+                              "--select", "kernel-purity"]) == 0
+        capsys.readouterr()
+
+    def test_list_rules_names_all_four(self, capsys):
+        assert analysis_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("lock-discipline", "kernel-purity",
+                        "protocol-completeness", "numerics-hygiene"):
+            assert rule_id in out
+
+
+# --------------------------------------------------------------------------- #
+# The real tree stays clean against the committed baseline
+# --------------------------------------------------------------------------- #
+def test_src_tree_is_clean_against_committed_baseline(capsys):
+    exit_code = analysis_main([
+        str(REPO_ROOT / "src"),
+        "--root", str(REPO_ROOT),
+        "--baseline", str(REPO_ROOT / "analysis-baseline.txt"),
+    ])
+    captured = capsys.readouterr()
+    assert exit_code == 0, captured.out
+    # No stale entries either: every baselined debt still exists.
+    assert "stale baseline entry" not in captured.err
+
+
+@pytest.mark.parametrize("expected", [
+    "src/repro/serving/cache.py",  # _peek carries '# repro: locked[_lock]'
+    "src/repro/nn/kernels.py",     # block sweeps carry inline allows
+])
+def test_escape_hatches_stay_visible_in_the_tree(expected):
+    source = (REPO_ROOT / expected).read_text(encoding="utf-8")
+    assert "# repro: " in source

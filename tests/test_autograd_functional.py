@@ -7,7 +7,7 @@ import pytest
 
 from repro.autograd import Tensor, check_gradients
 from repro.autograd import functional as F
-from repro.core.masks import NEG_INF, causal_mask
+from repro.core.masks import causal_mask
 
 
 def _tensor(rng, shape):

@@ -23,7 +23,7 @@ class TestBasics:
         assert Tensor(3.5).item() == pytest.approx(3.5)
 
     def test_item_requires_scalar_like(self):
-        with pytest.raises(Exception):
+        with pytest.raises(ValueError):
             Tensor([1.0, 2.0]).item()
 
     def test_detach_shares_data_but_no_grad(self):

@@ -9,7 +9,6 @@ import itertools
 import numpy as np
 import pytest
 
-from repro.autograd import Tensor
 from repro.baselines import (
     AFM,
     BASELINE_REGISTRY,

@@ -3,11 +3,9 @@ the real public dataset formats."""
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.data import io
-from repro.data.interactions import Interaction, InteractionLog
 
 
 class TestCsvRoundTrip:

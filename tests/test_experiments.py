@@ -3,7 +3,6 @@ the table/figure runners (exercised at a micro scale so they stay fast)."""
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.experiments import reference
@@ -110,7 +109,6 @@ class TestReferenceNumbers:
             assert min(table, key=lambda m: table[m]["MAE"]) == "SeqFM"
 
     def test_ablation_default_is_best_on_most_datasets(self):
-        default = reference.TABLE5_ABLATION["Default"]
         # On the ranking/classification datasets higher is better and Default wins.
         for dataset in ("gowalla", "foursquare", "trivago", "taobao"):
             values = {variant: row[dataset] for variant, row in reference.TABLE5_ABLATION.items()}

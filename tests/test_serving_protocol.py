@@ -34,7 +34,6 @@ from repro.serving.protocol import (
     ERR_BAD_ENVELOPE,
     ERR_BAD_JSON,
     ERR_BAD_REQUEST,
-    ERR_EXECUTION,
     ERR_UNKNOWN_HEAD,
     ERR_UNKNOWN_MODEL,
     ERR_UNSUPPORTED_VERSION,
