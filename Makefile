@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := $(CURDIR)/src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint bench bench-train bench-rank bench-retrieve bench-serve bench-concurrency docs-check all
+.PHONY: test lint chaos bench bench-train bench-rank bench-retrieve bench-serve bench-concurrency bench-durability docs-check all
 
 # Tier-1 test suite (the acceptance gate for every PR).
 test:
@@ -21,6 +21,12 @@ lint:
 	else \
 		echo "lint: ruff not installed; skipped (CI runs it)"; \
 	fi
+
+# Chaos battery: seeded deterministic fault injection against the durable
+# store and the self-healing concurrent runtime (WAL crash recovery, torn
+# writes, retry/backoff, quarantine, the degradation ladder).
+chaos:
+	$(PYTHON) -m pytest tests/test_serving_chaos.py tests/test_serving_durability.py -q
 
 # Benchmark suite: regenerates the paper's tables/figures and the serving
 # throughput reports into results/*.txt (includes bench-train and bench-rank).
@@ -56,6 +62,12 @@ bench-serve:
 # parity with the serial path (writes results/serving_concurrency.txt).
 bench-concurrency:
 	$(PYTHON) -m pytest benchmarks/test_serving_concurrency.py -q
+
+# Durability benchmark only: WAL-on vs WAL-off serving throughput (the <10%
+# overhead budget) and crash-recovery time at a 100k-event log (writes
+# results/serving_durability.txt).
+bench-durability:
+	$(PYTHON) -m pytest benchmarks/test_serving_durability.py -q
 
 # Fail if the documented code blocks have drifted from the public API:
 # extracts and executes every ```python fence in the README and the

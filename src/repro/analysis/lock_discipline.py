@@ -57,6 +57,8 @@ DEFAULT_SHARED_STATE: Dict[str, Dict[str, Dict[str, str]]] = {
             "_hits": "_lock",
             "_misses": "_lock",
             "_expired": "_lock",
+            "_journal": "_lock",
+            "_sealed": "_lock",
         },
         "ShardedUserSequenceStore": {
             "_shards": "_lock",
@@ -69,9 +71,14 @@ DEFAULT_SHARED_STATE: Dict[str, Dict[str, Dict[str, str]]] = {
             "_idle": "_idle_lock",
             "_process_pool": "_idle_lock",
             "_groups": "_groups_lock",
+            "_quarantine": "_quarantine_lock",
+            "_pool_restarts": "_idle_lock",
         },
         "_Pending": {
             "_claimed": "_lock",
+        },
+        "HealthMonitor": {
+            "_events": "_lock",
         },
     },
     "repro/serving/service.py": {
@@ -80,6 +87,25 @@ DEFAULT_SHARED_STATE: Dict[str, Dict[str, Dict[str, str]]] = {
             "lines": "_lock",
             "errors": "_lock",
             "error_codes": "_lock",
+        },
+    },
+    "repro/serving/durability.py": {
+        "WriteAheadLog": {
+            "_last_seq": "_lock",
+            "_synced_seq": "_lock",
+            "_appends": "_lock",
+            "_fsyncs": "_lock",
+            "_pending": "_lock",
+            "_file": "_lock",
+            "_broken": "_lock",
+        },
+        "DurableSequenceStore": {
+            "_snapshot_seq": "_checkpoint_lock",
+        },
+    },
+    "repro/serving/faults.py": {
+        "FaultInjector": {
+            "_specs": "_lock",
         },
     },
 }

@@ -23,6 +23,14 @@ This whole-project rule closes the loop syntactically:
   ``head_choices`` tuples or the ``COMMAND_HEADS`` map of
   :mod:`repro.experiments.cli`.
 
+Since PR 8 the same completeness contract covers the durability layer: the
+write-ahead log's record vocabulary is the ``WAL_OPS`` tuple of
+:mod:`repro.serving.durability`, and every journal emission site
+(``_journal_op(...)`` / ``_journal_topology(...)`` with a literal op) must
+name a member of it — an op outside the vocabulary would be written to disk
+today and rejected by ``apply_journal`` at recovery, i.e. a crash that only
+manifests after the crash it was meant to survive.
+
 The rule needs the protocol module, the head definitions and the CLI in one
 view, so it runs as a project rule; when the analyzed path set does not
 include the protocol module (fixture runs, single-file invocations) it
@@ -41,6 +49,12 @@ DEFAULT_PROTOCOL_MODULE = "repro/serving/protocol.py"
 
 #: Where the CLI serving routes live.
 DEFAULT_CLI_MODULE = "repro/experiments/cli.py"
+
+#: Where the WAL record vocabulary (``WAL_OPS``) lives.
+DEFAULT_DURABILITY_MODULE = "repro/serving/durability.py"
+
+#: Journal-emission helpers whose literal first argument is a WAL op.
+JOURNAL_EMITTERS = ("_journal_op", "_journal_put", "_journal_topology")
 
 #: Variables in the CLI module whose string contents are serving routes.
 ROUTE_VARIABLES = ("head_choices",)
@@ -66,9 +80,11 @@ class ProtocolCompletenessRule(Rule):
                    "route")
 
     def __init__(self, protocol_module: str = DEFAULT_PROTOCOL_MODULE,
-                 cli_module: str = DEFAULT_CLI_MODULE):
+                 cli_module: str = DEFAULT_CLI_MODULE,
+                 durability_module: str = DEFAULT_DURABILITY_MODULE):
         self.protocol_module = protocol_module
         self.cli_module = cli_module
+        self.durability_module = durability_module
 
     def check_project(self, project: Project) -> Iterable[Finding]:
         protocol = project.find(self.protocol_module)
@@ -80,6 +96,7 @@ class ProtocolCompletenessRule(Rule):
         self._check_registration(head_classes, registered, findings)
         self._check_error_codes(project, protocol, findings)
         self._check_cli_routes(project, registered, findings)
+        self._check_wal_ops(project, findings)
         return findings
 
     # ------------------------------------------------------------------ #
@@ -285,3 +302,40 @@ class ProtocolCompletenessRule(Rule):
         for child in ast.walk(node):
             if isinstance(child, ast.Constant) and isinstance(child.value, str):
                 yield child.value
+
+    # ------------------------------------------------------------------ #
+    # WAL record vocabulary
+    # ------------------------------------------------------------------ #
+    def _check_wal_ops(self, project: Project,
+                       findings: List[Finding]) -> None:
+        """Every literal journal-emission op is a member of ``WAL_OPS``."""
+        durability = project.find(self.durability_module)
+        if durability is None:
+            return
+        wal_ops: Set[str] = set()
+        for node in durability.tree.body:
+            if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                    and isinstance(node.targets[0], ast.Name) \
+                    and node.targets[0].id == "WAL_OPS" \
+                    and isinstance(node.value, (ast.Tuple, ast.List)):
+                wal_ops.update(self._string_constants(node.value))
+        if not wal_ops:
+            return
+        for module in project.modules:
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.Call) or not node.args:
+                    continue
+                func = node.func
+                if not isinstance(func, ast.Attribute) \
+                        or func.attr not in JOURNAL_EMITTERS:
+                    continue
+                op = node.args[0]
+                if isinstance(op, ast.Constant) and isinstance(op.value, str) \
+                        and op.value not in wal_ops:
+                    findings.append(Finding(
+                        path=module.path, line=node.lineno,
+                        col=node.col_offset + 1, rule=self.rule_id,
+                        message=f"{func.attr}() emits WAL op '{op.value}' "
+                                "which is not in WAL_OPS "
+                                f"({self.durability_module}); recovery would "
+                                "reject the record"))

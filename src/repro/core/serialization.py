@@ -12,10 +12,12 @@ runs can be archived and compared across commits.
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import json
+import os
 from pathlib import Path
-from typing import Union
+from typing import IO, Iterator, Union
 
 import numpy as np
 
@@ -30,14 +32,64 @@ _CONFIG_KEY = "__seqfm_config_json__"
 
 
 # --------------------------------------------------------------------------- #
+# Atomic on-disk writes
+# --------------------------------------------------------------------------- #
+@contextlib.contextmanager
+def atomic_write(path: PathLike, mode: str = "wb") -> Iterator[IO]:
+    """Write ``path`` atomically: temp file → flush+fsync → rename.
+
+    A crash at any point leaves either the previous contents or the complete
+    new ones — never a torn file.  The temp file lives next to the target
+    (``os.replace`` must not cross filesystems) and is removed on failure;
+    after the rename the parent directory is fsynced so the new directory
+    entry itself is durable.  All checkpoint, index and snapshot writers go
+    through this helper.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp_path = path.parent / f".{path.name}.tmp.{os.getpid()}"
+    try:
+        with open(tmp_path, mode) as handle:
+            yield handle
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.unlink(tmp_path)
+        raise
+    _fsync_directory(path.parent)
+
+
+def _fsync_directory(directory: Path) -> None:
+    """Make a directory entry durable (no-op where dirs cannot be opened)."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # e.g. Windows — rename durability is best-effort there
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def atomic_write_text(path: PathLike, text: str) -> None:
+    """Atomically replace ``path`` with ``text`` (UTF-8)."""
+    with atomic_write(path, "w") as handle:
+        handle.write(text)
+
+
+# --------------------------------------------------------------------------- #
 # Weight-only (module-agnostic) helpers
 # --------------------------------------------------------------------------- #
 def save_weights(module: Module, path: PathLike) -> None:
     """Save every parameter of ``module`` into a compressed ``.npz`` archive."""
     path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
     state = module.state_dict()
-    np.savez_compressed(path, **state)
+    # savez appends ".npz" to bare paths, so hand it an open handle instead:
+    # the archive lands in the temp file and is renamed into place whole.
+    with atomic_write(path) as handle:
+        np.savez_compressed(handle, **state)
 
 
 def load_weights(module: Module, path: PathLike) -> None:
@@ -54,11 +106,11 @@ def load_weights(module: Module, path: PathLike) -> None:
 def save_seqfm(model: SeqFM, path: PathLike) -> None:
     """Save a SeqFM model together with its configuration."""
     path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
     state = model.state_dict()
     config_json = json.dumps(dataclasses.asdict(model.config))
     state[_CONFIG_KEY] = np.frombuffer(config_json.encode("utf-8"), dtype=np.uint8)
-    np.savez_compressed(path, **state)
+    with atomic_write(path) as handle:
+        np.savez_compressed(handle, **state)
 
 
 def load_seqfm(path: PathLike) -> SeqFM:
@@ -80,15 +132,13 @@ def load_seqfm(path: PathLike) -> SeqFM:
 # --------------------------------------------------------------------------- #
 def save_result_table(table: ResultTable, path: PathLike) -> None:
     """Export a ResultTable (title, columns, rows, metadata) as JSON."""
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
     payload = {
         "title": table.title,
         "columns": list(table.columns),
         "rows": table.as_dict(),
         "metadata": _jsonable(table.metadata),
     }
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    atomic_write_text(path, json.dumps(payload, indent=2, sort_keys=True))
 
 
 def load_result_table(path: PathLike) -> ResultTable:

@@ -73,14 +73,17 @@ TRAIN_COMMAND = "train"
 #: Offline index build subcommand (two-stage retrieval).
 BUILD_INDEX_COMMAND = "build-index"
 
+#: Offline durability inspection subcommand (snapshot + WAL state on disk).
+STATUS_COMMAND = "status"
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Regenerate the tables and figures of the SeqFM paper (ICDE 2020).",
         epilog="Training/serving subcommands (separate option sets): "
-               "'train', 'serve', 'predict-batch', 'rank-topk', 'recommend' "
-               "and 'build-index' — run e.g. "
+               "'train', 'serve', 'predict-batch', 'rank-topk', 'recommend', "
+               "'build-index' and 'status' — run e.g. "
                "'python -m repro.experiments.cli train --help'.",
     )
     parser.add_argument("experiment", choices=EXPERIMENTS + ("all",),
@@ -272,7 +275,7 @@ def build_serving_parser(command: str) -> argparse.ArgumentParser:
     if command not in COMMAND_HEADS:
         head_choices = ("score", "rank", "classify", "regress")
         if command == "serve":
-            head_choices += ("rank-topk", "recommend", "update")
+            head_choices += ("rank-topk", "recommend", "update", "status")
         parser.add_argument("--head", default="score", choices=head_choices,
                             help="default head for requests that do not route "
                                  "themselves via a v1 envelope (default: raw "
@@ -308,6 +311,19 @@ def build_serving_parser(command: str) -> argparse.ArgumentParser:
                                  "into shared micro-batches (scoring heads "
                                  "trade byte-for-byte parity with the serial "
                                  "loop for throughput)")
+        parser.add_argument("--wal", type=Path, default=None,
+                            help="durability directory: write-ahead log every "
+                                 "store mutation there, recovering any prior "
+                                 "snapshot + WAL on startup (inspect offline "
+                                 "with the 'status' subcommand)")
+        parser.add_argument("--fsync-every", type=int, default=256,
+                            help="WAL appends per fsync batch (default: 256; "
+                                 "1 = fsync every record)")
+        parser.add_argument("--retries", type=int, default=0,
+                            help="retry retryable worker failures this many "
+                                 "times (jittered exponential backoff) before "
+                                 "a structured 'retryable' error; requires "
+                                 "--workers (default: 0)")
     if command in ("serve", "rank-topk", "recommend"):
         parser.add_argument("--k", type=int, default=None,
                             help="default top-K cut for ranking/recommendation "
@@ -391,6 +407,14 @@ def run_serving(command: str, argv: List[str]) -> int:
     if workers is not None and workers < 1:
         print("error: --workers must be positive", file=sys.stderr)
         return 2
+    retries = getattr(args, "retries", 0)
+    if retries < 0:
+        print("error: --retries must be non-negative", file=sys.stderr)
+        return 2
+    if retries > 0 and workers is None:
+        print("error: --retries requires --workers (the concurrent runtime "
+              "owns the retry loop)", file=sys.stderr)
+        return 2
     registry = ModelRegistry(cache_capacity=args.cache_capacity,
                              cache_ttl=args.cache_ttl,
                              cache_shards=getattr(args, "shards", 1))
@@ -403,6 +427,25 @@ def run_serving(command: str, argv: List[str]) -> int:
     if index_error is not None:
         print(f"error: {index_error}", file=sys.stderr)
         return 2
+    durable = None
+    if getattr(args, "wal", None) is not None:
+        if args.fsync_every < 1:
+            print("error: --fsync-every must be positive", file=sys.stderr)
+            return 2
+        from repro.serving.durability import WALCorruptionError
+
+        try:
+            durable = registry.enable_durability(
+                "default", args.wal, fsync_every=args.fsync_every)
+        except (WALCorruptionError, ValueError, OSError) as error:
+            print(f"error: cannot recover WAL state in {args.wal}: {error}",
+                  file=sys.stderr)
+            return 2
+        recovery = durable.recovery
+        print(f"durability: {args.wal} (snapshot seq {recovery.snapshot_seq}, "
+              f"replayed {recovery.replayed} WAL records"
+              f"{', healed torn tail' if recovery.torn_tail else ''})",
+              file=sys.stderr)
     head = COMMAND_HEADS.get(command, getattr(args, "head", "score"))
 
     def store_summary() -> str:
@@ -442,12 +485,16 @@ def run_serving(command: str, argv: List[str]) -> int:
 
     try:
         if workers is not None:
+            from repro.serving.faults import RetryPolicy
+
+            retry = RetryPolicy(max_attempts=retries + 1) if retries else None
             summary = serve_concurrent_jsonl(
                 registry, "default", sys.stdin, sys.stdout,
                 head=head, max_batch_size=args.max_batch_size,
                 k=args.k, n_retrieve=getattr(args, "n_retrieve", None),
                 workers=workers, max_inflight=args.max_inflight,
-                timeout=args.worker_timeout, coalesce=args.coalesce)
+                timeout=args.worker_timeout, coalesce=args.coalesce,
+                retry=retry)
         else:
             summary = serve_jsonl(registry, "default", sys.stdin, sys.stdout,
                                   head=head, max_batch_size=args.max_batch_size,
@@ -455,6 +502,11 @@ def run_serving(command: str, argv: List[str]) -> int:
     except (ValueError, KeyError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    finally:
+        if durable is not None:
+            durable.close()
+            print(f"durability: checkpointed to seq {durable.wal_status()['last_seq']} "
+                  f"in {args.wal}", file=sys.stderr)
     codes = ""
     if summary.error_codes:
         breakdown = ", ".join(f"{code}={count}" for code, count
@@ -539,12 +591,53 @@ def run_build_index(argv: List[str]) -> int:
     return 0
 
 
+def build_status_parser() -> argparse.ArgumentParser:
+    """Parser for the ``status`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments status",
+        description="Inspect a durability directory (snapshot + write-ahead "
+                    "log) offline, without loading any model.  For the live "
+                    "view, send a 'status'-head envelope to a running serve "
+                    "loop instead.",
+    )
+    parser.add_argument("--wal", type=Path, required=True,
+                        help="durability directory written by 'serve --wal'")
+    parser.add_argument("--output", type=Path, default=None,
+                        help="write the report as JSON (default: stdout)")
+    return parser
+
+
+def run_status(argv: List[str]) -> int:
+    """Report on-disk durability state as JSON; returns an exit code."""
+    from repro.serving.durability import WALCorruptionError, inspect_durability
+
+    args = build_status_parser().parse_args(argv)
+    if not args.wal.is_dir():
+        print(f"error: durability directory not found: {args.wal}", file=sys.stderr)
+        return 2
+    try:
+        report = inspect_durability(args.wal)
+    except (WALCorruptionError, ValueError, OSError) as error:
+        print(f"error: cannot inspect {args.wal}: {error}", file=sys.stderr)
+        return 2
+    rendered = json.dumps(report, indent=2, sort_keys=True)
+    if args.output:
+        args.output.parent.mkdir(parents=True, exist_ok=True)
+        args.output.write_text(rendered + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(rendered)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv and argv[0] == TRAIN_COMMAND:
         return run_train(argv[1:])
     if argv and argv[0] == BUILD_INDEX_COMMAND:
         return run_build_index(argv[1:])
+    if argv and argv[0] == STATUS_COMMAND:
+        return run_status(argv[1:])
     if argv and argv[0] in SERVING_COMMANDS:
         return run_serving(argv[0], argv[1:])
     args = build_parser().parse_args(argv)

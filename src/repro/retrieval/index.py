@@ -305,9 +305,14 @@ class ItemIndex:
         return self
 
     def save(self, path: PathLike) -> Path:
-        """Write the snapshot (partition block included) as compressed ``.npz``."""
+        """Write the snapshot (partition block included) as compressed ``.npz``.
+
+        The write is atomic (temp file → fsync → rename): a crash mid-save
+        can never leave a torn archive where a valid index used to be.
+        """
+        from repro.core.serialization import atomic_write
+
         path = Path(path)
-        path.parent.mkdir(parents=True, exist_ok=True)
         payload = {
             "item_ids": self.item_ids,
             "vectors": self.vectors,
@@ -318,7 +323,8 @@ class ItemIndex:
             payload["centroids"] = self.centroids
             payload["assignments"] = self.assignments
             payload["representative_positions"] = self.representative_positions
-        np.savez_compressed(path, **payload)
+        with atomic_write(path) as handle:
+            np.savez_compressed(handle, **payload)
         return path
 
     @classmethod

@@ -37,6 +37,15 @@ production-facing inference layer of the reproduction:
   :class:`~repro.serving.cache.ShardedUserSequenceStore` consistent-hashes
   users over independently locked shards with per-shard
   ``snapshot()``/``restore()`` for shard moves and replay.
+* :mod:`repro.serving.durability` — durable, self-healing state:
+  :class:`~repro.serving.durability.DurableSequenceStore` write-ahead-logs
+  every store mutation (fsync-batched, CRC-framed, torn-tail healing) with
+  periodic snapshot + log compaction, recovering byte-identically on
+  restart; :mod:`repro.serving.faults` provides the seeded deterministic
+  :class:`~repro.serving.faults.FaultInjector` and the jittered-exponential
+  :class:`~repro.serving.faults.RetryPolicy` behind the concurrent router's
+  retry / quarantine / degradation-ladder self-healing, all observable live
+  through the ``status`` head.
 
 The engine additionally exposes the **candidate ranking fast path**
 (:meth:`~repro.serving.engine.InferenceEngine.rank_candidates`): C candidates
@@ -98,14 +107,35 @@ from repro.serving.cache import (
     HashRing,
     LRUCache,
     ShardedUserSequenceStore,
+    ShardSealedError,
     UserSequenceStore,
 )
 from repro.serving.concurrent import (
     ConcurrentServingRouter,
+    DegradationPolicy,
+    HealthMonitor,
     serve_concurrent_jsonl,
 )
+from repro.serving.durability import (
+    WAL_OPS,
+    DurableSequenceStore,
+    RecoveryReport,
+    WriteAheadLog,
+    inspect_durability,
+    read_wal,
+)
 from repro.serving.engine import InferenceEngine, RankingPlan
+from repro.serving.faults import (
+    NULL_INJECTOR,
+    FaultInjector,
+    FaultSpec,
+    InjectedFault,
+    RetryPolicy,
+    TransientFault,
+    is_retryable,
+)
 from repro.serving.protocol import (
+    ERR_RETRYABLE,
     ERROR_CODES,
     PROTOCOL_VERSION,
     Envelope,
@@ -114,6 +144,7 @@ from repro.serving.protocol import (
     ProtocolError,
     ServeDefaults,
     ServingRouter,
+    StatusHead,
     UpdateRequest,
     default_heads,
     error_response,
@@ -136,15 +167,23 @@ __all__ = [
     "BatcherStats",
     "CacheStats",
     "ConcurrentServingRouter",
+    "DegradationPolicy",
+    "DurableSequenceStore",
+    "ERR_RETRYABLE",
     "ERROR_CODES",
     "Envelope",
+    "FaultInjector",
+    "FaultSpec",
     "HashRing",
     "Head",
     "HeadRegistry",
+    "HealthMonitor",
     "InferenceEngine",
+    "InjectedFault",
     "LRUCache",
     "MicroBatcher",
     "ModelRegistry",
+    "NULL_INJECTOR",
     "PROTOCOL_VERSION",
     "PendingScore",
     "ProtocolError",
@@ -152,17 +191,26 @@ __all__ = [
     "RankingPlan",
     "RankRequest",
     "RecommendRequest",
+    "RecoveryReport",
     "RegisteredModel",
+    "RetryPolicy",
     "ScoreRequest",
     "ServeDefaults",
     "ServeSummary",
     "ServingRouter",
+    "ShardSealedError",
     "ShardedUserSequenceStore",
+    "StatusHead",
+    "TransientFault",
     "UpdateRequest",
     "UserSequenceStore",
+    "WAL_OPS",
+    "WriteAheadLog",
     "default_heads",
     "error_response",
     "execute_batch",
+    "inspect_durability",
+    "is_retryable",
     "parse_envelope",
     "parse_rank_request",
     "parse_recommend_request",
@@ -170,6 +218,7 @@ __all__ = [
     "predict_batch",
     "rank_topk_batch",
     "recommend_batch",
+    "read_wal",
     "serve_concurrent_jsonl",
     "serve_jsonl",
 ]

@@ -99,18 +99,28 @@ class LRUCache(Generic[K, V]):
         self.stats.hits += 1
         return self._entries[key]
 
-    def put(self, key: K, value: V) -> None:
-        """Insert or update ``key``, evicting the LRU entry beyond capacity."""
+    def put(self, key: K, value: V) -> Optional[K]:
+        """Insert or update ``key``, evicting the LRU entry beyond capacity.
+
+        Returns the evicted key (``None`` when nothing was evicted) so
+        callers journaling mutations can account for the side effect.
+        """
         if key in self._entries:
             self._entries.move_to_end(key)
         self._entries[key] = value
         if len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+            evicted, _ = self._entries.popitem(last=False)
             self.stats.evictions += 1
+            return evicted
+        return None
 
     def pop(self, key: K) -> Optional[V]:
         """Remove and return ``key`` if cached (no stats impact)."""
         return self._entries.pop(key, None)
+
+    def peek_lru(self) -> Optional[K]:
+        """The least-recently-used key (the next eviction victim), if any."""
+        return next(iter(self._entries), None)
 
     def clear(self) -> None:
         self._entries.clear()
@@ -133,6 +143,24 @@ class _CachedSequence:
     mask: np.ndarray
     #: clock reading at (re-)encoding time, for TTL expiry
     stamp: float = 0.0
+
+
+class ShardSealedError(RuntimeError):
+    """The store was sealed (detached from its ring) mid-operation.
+
+    Raised from every state operation of a sealed :class:`UserSequenceStore`.
+    :class:`ShardedUserSequenceStore` seals a shard while detaching it under
+    the topology lock, so a caller that resolved the shard *before* the
+    detach re-routes against the new topology instead of writing into state
+    that has already been snapshotted away.  Never escapes the sharded
+    store's public surface.
+    """
+
+
+#: Journal callback: receives one JSON-safe mutation record (``{"op": ...}``)
+#: *before* the mutation is applied, while the store lock is held.  Raising
+#: from the journal aborts the mutation — write-ahead semantics.
+JournalFn = Callable[[dict], None]
 
 
 class UserSequenceStore:
@@ -199,10 +227,92 @@ class UserSequenceStore:
         self._expired = 0
         self._lock = threading.RLock()
         self._cache: LRUCache[int, _CachedSequence] = LRUCache(capacity)
+        self._journal: Optional[JournalFn] = None
+        self._sealed = False
 
     @property
     def capacity(self) -> int:
         return self._cache.capacity
+
+    # ------------------------------------------------------------------ #
+    # Journal (write-ahead durability hook) and sealing
+    # ------------------------------------------------------------------ #
+    def set_journal(self, journal: Optional[JournalFn]) -> None:
+        """Attach (or detach, with ``None``) the mutation journal.
+
+        The journal receives one JSON-safe record for every state-affecting
+        operation — writes, TTL expiries, evictions, and recency touches on
+        read hits (the LRU order is part of :meth:`snapshot`'s bytes) —
+        *before* the mutation lands, under the store lock.  A journal that
+        raises aborts its operation, which is what lets a write-ahead log
+        stay a superset of the applied state.
+        """
+        with self._lock:
+            self._journal = journal
+
+    def seal(self) -> None:
+        """Permanently fail all state operations with :class:`ShardSealedError`.
+
+        Called by the sharded store while detaching this shard; waits for
+        (and then excludes) every in-flight operation because it takes the
+        same lock they hold.  ``snapshot``/``stats``/``__len__`` still work —
+        a sealed shard can be inspected and re-homed, never written.
+        """
+        with self._lock:
+            self._sealed = True
+
+    def _ensure_live(self) -> None:  # repro: locked[_lock]
+        if self._sealed:
+            raise ShardSealedError("the store is sealed (shard was detached)")
+
+    def _journal_op(self, op: str, user_id: Optional[int] = None,
+                    entry: Optional[_CachedSequence] = None,
+                    events: Optional[Iterable[int]] = None) -> None:  # repro: locked[_lock]
+        """Emit one journal record (no-op without an attached journal)."""
+        if self._journal is None:
+            return
+        record: Dict[str, object] = {"op": op}
+        if user_id is not None:
+            record["user"] = int(user_id)
+        if entry is not None:
+            record["fp"] = list(entry.fingerprint)
+            record["stamp"] = entry.stamp
+        if events is not None:
+            record["events"] = [int(event) for event in events]
+        self._journal(record)
+
+    def _journal_put(self, op: str, user_id: int, entry: _CachedSequence,
+                     events: Optional[Iterable[int]] = None) -> None:  # repro: locked[_lock]
+        """Journal a put *and* the eviction it will cause, before either lands."""
+        self._journal_op(op, user_id, entry, events)
+        if user_id not in self._cache and len(self._cache) >= self._cache.capacity:
+            self._journal_op("evict", self._cache.peek_lru())
+
+    def apply_journal(self, record: dict) -> None:
+        """Re-apply one journal record (the crash-recovery replay path).
+
+        Replay is *closed over the journal's own vocabulary*: puts carry the
+        final fingerprint and stamp, so applying a record twice is idempotent
+        — the property that makes WAL replay safe when a snapshot and the
+        log overlap.  ``evict`` records are usually no-ops on replay (the
+        same-capacity cache re-evicts the same victim automatically); they
+        are kept in the log so the interaction history is self-describing.
+        """
+        op = record["op"]
+        with self._lock:
+            if op in ("record", "append", "put"):
+                entry = self._encode_entry(
+                    tuple(int(item) for item in record["fp"]))
+                entry.stamp = float(record["stamp"])
+                self._cache.put(int(record["user"]), entry)
+            elif op == "touch":
+                self._cache.get(int(record["user"]))
+            elif op in ("del", "expire", "evict"):
+                self._cache.pop(int(record["user"]))
+            elif op == "clear":
+                self._cache.clear()
+            else:
+                raise ValueError(f"unknown journal op {op!r}")
 
     @property
     def stats(self) -> CacheStats:
@@ -217,14 +327,24 @@ class UserSequenceStore:
 
     def __contains__(self, user_id: int) -> bool:
         with self._lock:
-            return self._peek(user_id) is not None
+            self._ensure_live()
+            cached = self._peek(user_id)
+            if cached is not None:
+                self._journal_op("touch", user_id)
+            return cached is not None
 
     def _peek(self, user_id: int) -> Optional[_CachedSequence]:  # repro: locked[_lock]
-        """The live cached entry, dropping (and counting) TTL-expired ones."""
+        """The live cached entry, dropping (and counting) TTL-expired ones.
+
+        The recency refresh a hit performs is journaled by the *callers*
+        (as a ``touch``, unless the operation replaces the entry anyway);
+        the expiry pop is journaled here, where it happens.
+        """
         cached = self._cache.get(user_id)
         if cached is None:
             return None
         if self.ttl is not None and self._clock() - cached.stamp > self.ttl:
+            self._journal_op("expire", user_id)
             self._cache.pop(user_id)
             self._expired += 1
             return None
@@ -239,12 +359,15 @@ class UserSequenceStore:
         """
         fingerprint = tuple(int(item) for item in list(history)[-self.max_seq_len:])
         with self._lock:
+            self._ensure_live()
             cached = self._peek(user_id)
             if cached is not None and cached.fingerprint == fingerprint:
                 self._hits += 1
+                self._journal_op("touch", user_id)
                 return cached.indices, cached.mask
             self._misses += 1
             entry = self._encode_entry(fingerprint)
+            self._journal_put("put", user_id, entry)
             self._cache.put(user_id, entry)
             return entry.indices, entry.mask
 
@@ -258,9 +381,11 @@ class UserSequenceStore:
         never evict warm users' accumulated ``update``-head state.
         """
         with self._lock:
+            self._ensure_live()
             cached = self._peek(user_id)
             if cached is not None:
                 self._hits += 1
+                self._journal_op("touch", user_id)
                 return cached.indices, cached.mask
             self._misses += 1
             entry = self._encode_entry(())
@@ -273,17 +398,25 @@ class UserSequenceStore:
         (the v1-envelope "server-side sequence" semantic).
         """
         with self._lock:
+            self._ensure_live()
             cached = self._peek(user_id)
-            return cached.fingerprint if cached is not None else None
+            if cached is not None:
+                self._journal_op("touch", user_id)
+                return cached.fingerprint
+            return None
 
     def append_event(self, user_id: int, dynamic_index: int) -> None:
         """Extend a cached user's history by one event (no-op on cold users)."""
         with self._lock:
+            self._ensure_live()
             cached = self._peek(user_id)
             if cached is None:
                 return
             suffix = (cached.fingerprint + (int(dynamic_index),))[-self.max_seq_len:]
-            self._cache.put(user_id, self._encode_entry(suffix))
+            entry = self._encode_entry(suffix)
+            self._journal_put("append", user_id, entry,
+                              events=(int(dynamic_index),))
+            self._cache.put(user_id, entry)
 
     def record(self, user_id: int, events: Iterable[int]) -> _CachedSequence:
         """Append ``events`` to a user's stored sequence, creating it if cold.
@@ -293,11 +426,14 @@ class UserSequenceStore:
         never seen, so the online loop works from the first interaction.
         Returns the updated entry (its ``fingerprint`` is the new suffix).
         """
+        events = tuple(int(event) for event in events)
         with self._lock:
+            self._ensure_live()
             cached = self._peek(user_id)
             base = cached.fingerprint if cached is not None else ()
-            suffix = (base + tuple(int(event) for event in events))[-self.max_seq_len:]
+            suffix = (base + events)[-self.max_seq_len:]
             entry = self._encode_entry(suffix)
+            self._journal_put("record", user_id, entry, events=events)
             self._cache.put(user_id, entry)
             return entry
 
@@ -309,10 +445,15 @@ class UserSequenceStore:
     def invalidate(self, user_id: int) -> None:
         """Drop a user's cached encoding."""
         with self._lock:
+            self._ensure_live()
+            if user_id in self._cache:
+                self._journal_op("del", user_id)
             self._cache.pop(user_id)
 
     def clear(self) -> None:
         with self._lock:
+            self._ensure_live()
+            self._journal_op("clear")
             self._cache.clear()
 
     # ------------------------------------------------------------------ #
@@ -472,16 +613,63 @@ class ShardedUserSequenceStore:
         self._clock = clock
         self._replicas = replicas
         self._lock = threading.RLock()  # guards topology, not per-shard state
+        self._journal: Optional[JournalFn] = None
         self._shards: Dict[Hashable, UserSequenceStore] = {}
         self._ring = HashRing(replicas=replicas)
         for shard_id in shard_ids:
             self._ring.add(shard_id)
-            self._shards[shard_id] = self._make_shard(len(shard_ids))
+            self._shards[shard_id] = self._make_shard(len(shard_ids), shard_id)
 
-    def _make_shard(self, num_shards: int) -> UserSequenceStore:
+    def _make_shard(self, num_shards: int, shard_id: Hashable) -> UserSequenceStore:
         per_shard = max(1, -(-self.capacity // max(1, num_shards)))  # ceil div
-        return UserSequenceStore(self.max_seq_len, capacity=per_shard,
-                                 ttl=self.ttl, clock=self._clock)
+        shard = UserSequenceStore(self.max_seq_len, capacity=per_shard,
+                                  ttl=self.ttl, clock=self._clock)
+        shard.set_journal(self._shard_journal(shard_id))
+        return shard
+
+    # ------------------------------------------------------------------ #
+    # Journal (durability hook, shard-tagged)
+    # ------------------------------------------------------------------ #
+    def set_journal(self, journal: Optional[JournalFn]) -> None:
+        """Attach (or detach) the store-wide mutation journal.
+
+        Per-shard records are tagged with their shard id; topology changes
+        (:meth:`add_shard` / :meth:`remove_shard`) are journaled too, so a
+        replay reconstructs both the entries *and* the ring that places
+        them.  Shard ids must be JSON-safe for a journaled store.
+        """
+        with self._lock:
+            self._journal = journal
+
+    def _shard_journal(self, shard_id: Hashable) -> JournalFn:
+        """The per-shard emitter: tag with the shard id, forward upstream."""
+        def emit(record: dict) -> None:
+            journal = self._journal
+            if journal is not None:
+                journal({**record, "shard": shard_id})
+        return emit
+
+    def _journal_topology(self, op: str, shard_id: Hashable,
+                          snapshot: Optional[dict] = None) -> None:  # repro: locked[_lock]
+        if self._journal is None:
+            return
+        record: Dict[str, object] = {"op": op, "shard_id": shard_id}
+        if snapshot is not None:
+            record["snapshot"] = snapshot
+        self._journal(record)
+
+    def apply_journal(self, record: dict) -> None:
+        """Re-apply one journal record (crash-recovery replay; idempotent)."""
+        op = record["op"]
+        if op == "add_shard":
+            self.add_shard(record["shard_id"], record.get("snapshot"))
+            return
+        if op == "remove_shard":
+            self.remove_shard(record["shard_id"])
+            return
+        with self._lock:
+            shard = self._shards[record["shard"]]
+        shard.apply_journal(record)
 
     # ------------------------------------------------------------------ #
     # Placement
@@ -499,32 +687,56 @@ class ShardedUserSequenceStore:
         with self._lock:
             return self._shards[self._ring.shard_for(int(user_id))]
 
+    def _on_shard(self, user_id: int, operation: Callable[[UserSequenceStore], V]) -> V:
+        """Resolve the owning shard and apply ``operation``, re-routing if
+        the shard was detached between resolution and the call.
+
+        The resolve-then-call window is the :meth:`remove_shard` race: a
+        shard looked up here can be sealed and snapshotted away before
+        ``operation`` runs.  The sealed shard rejects the straggler
+        (:class:`ShardSealedError`) instead of absorbing a write the
+        departed snapshot will never see, and the loop re-resolves against
+        the new topology — a detached shard can never be returned again, so
+        this terminates.
+        """
+        while True:
+            store = self._store(user_id)
+            try:
+                return operation(store)
+            except ShardSealedError:
+                continue
+
     # ------------------------------------------------------------------ #
     # UserSequenceStore surface (delegated to the owning shard)
     # ------------------------------------------------------------------ #
     def encode(self, user_id: int, history: Sequence[int]) -> Tuple[np.ndarray, np.ndarray]:
-        return self._store(user_id).encode(user_id, history)
+        return self._on_shard(user_id, lambda store: store.encode(user_id, history))
 
     def encode_stored(self, user_id: int) -> Tuple[np.ndarray, np.ndarray]:
-        return self._store(user_id).encode_stored(user_id)
+        return self._on_shard(user_id, lambda store: store.encode_stored(user_id))
 
     def history(self, user_id: int) -> Optional[Tuple[int, ...]]:
-        return self._store(user_id).history(user_id)
+        return self._on_shard(user_id, lambda store: store.history(user_id))
 
     def append_event(self, user_id: int, dynamic_index: int) -> None:
-        self._store(user_id).append_event(user_id, dynamic_index)
+        self._on_shard(user_id,
+                       lambda store: store.append_event(user_id, dynamic_index))
 
     def record(self, user_id: int, events: Iterable[int]) -> _CachedSequence:
-        return self._store(user_id).record(user_id, events)
+        events = tuple(events)
+        return self._on_shard(user_id, lambda store: store.record(user_id, events))
 
     def invalidate(self, user_id: int) -> None:
-        self._store(user_id).invalidate(user_id)
+        self._on_shard(user_id, lambda store: store.invalidate(user_id))
 
     def clear(self) -> None:
         with self._lock:
             shards = list(self._shards.values())
         for shard in shards:
-            shard.clear()
+            try:
+                shard.clear()
+            except ShardSealedError:  # detached concurrently: not ours anymore
+                continue
 
     @property
     def stats(self) -> CacheStats:
@@ -545,7 +757,23 @@ class ShardedUserSequenceStore:
         return sum(len(shard) for shard in shards)
 
     def __contains__(self, user_id: int) -> bool:
-        return user_id in self._store(user_id)
+        return self._on_shard(user_id, lambda store: user_id in store)
+
+    def shard_report(self) -> Dict[str, dict]:
+        """Per-shard health: residency, capacity and counters (for ``status``)."""
+        with self._lock:
+            shards = list(self._shards.items())
+        report: Dict[str, dict] = {}
+        for shard_id, shard in shards:
+            stats = shard.stats
+            report[str(shard_id)] = {
+                "users": len(shard),
+                "capacity": shard.capacity,
+                "hits": stats.hits,
+                "misses": stats.misses,
+                "evictions": stats.evictions,
+            }
+        return report
 
     # ------------------------------------------------------------------ #
     # Topology changes and shard mobility
@@ -560,10 +788,11 @@ class ShardedUserSequenceStore:
         """
         with self._lock:
             self._ring.add(shard_id)
-            shard = self._make_shard(len(self._ring))
+            shard = self._make_shard(len(self._ring), shard_id)
             if snapshot is not None:
                 shard.restore(snapshot)
             self._shards[shard_id] = shard
+            self._journal_topology("add_shard", shard_id, snapshot)
 
     def remove_shard(self, shard_id: Hashable) -> dict:
         """Detach a shard; returns its snapshot so it can be moved/replayed.
@@ -571,13 +800,24 @@ class ShardedUserSequenceStore:
         At least one shard must remain.  Keys the departed shard owned remap
         to the survivors (and miss until re-seeded); every other key keeps
         its shard — that stability is the point of the hash ring.
+
+        The detach is atomic with respect to inflight traffic: the ring
+        move, the seal and the snapshot all happen under the topology lock,
+        so a ``record`` that resolved this shard just before the detach
+        either lands *before* the seal (and is captured by the snapshot) or
+        is rejected by the sealed shard and transparently re-routed to the
+        new owner (:meth:`_on_shard`) — a write can never vanish into a
+        detached shard after its snapshot was taken.
         """
         with self._lock:
             if len(self._ring) <= 1:
                 raise ValueError("cannot remove the last shard")
             self._ring.remove(shard_id)
             shard = self._shards.pop(shard_id)
-        return shard.snapshot()
+            shard.seal()  # waits out (then excludes) in-flight shard ops
+            snapshot = shard.snapshot()
+            self._journal_topology("remove_shard", shard_id)
+        return snapshot
 
     def snapshot(self, shard_id: Optional[Hashable] = None) -> dict:
         """Snapshot one shard (``shard_id``) or the whole store (``None``)."""

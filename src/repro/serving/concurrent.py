@@ -43,6 +43,15 @@
   the stream keeps flowing; a stuck worker can delay its own batch, never
   the server.
 
+* **Self-healing** — retryable failures (injected faults, a crashed and
+  restarted worker-process pool) re-run under a jittered-exponential
+  :class:`~repro.serving.faults.RetryPolicy` before a structured
+  ``retryable`` error is emitted; repeat-offender request bodies are
+  quarantined; and a :class:`HealthMonitor` drives the
+  :class:`DegradationPolicy` ladder (shed coalescing → cheaper IVF probes →
+  admission reject) so a failure burst degrades quality instead of
+  collapsing latency.  The ``status`` head reports all of it live.
+
 :func:`serve_concurrent_jsonl` is the streaming front-end over all of it —
 the drop-in concurrent sibling of :func:`repro.serving.service.serve_jsonl`,
 exposed on the CLI as ``serve --workers N [--max-inflight M] [--shards S]``.
@@ -53,14 +62,24 @@ from __future__ import annotations
 import json
 import threading
 import time
+from collections import deque
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import IO, Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import IO, Any, Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
+from repro.serving.faults import (
+    NULL_INJECTOR,
+    FaultInjector,
+    RetryPolicy,
+    TransientFault,
+    is_retryable,
+)
 from repro.serving.protocol import (
     ERR_BAD_JSON,
     ERR_EXECUTION,
     ERR_OVERLOADED,
+    ERR_RETRYABLE,
     ERR_TIMEOUT,
     ERR_UNKNOWN_MODEL,
     Envelope,
@@ -129,6 +148,108 @@ class _Group:
 
 
 # --------------------------------------------------------------------------- #
+# Health tracking and the degradation ladder
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class HealthSnapshot:
+    """Execution outcomes inside the sliding health window."""
+
+    samples: int
+    failures: int
+
+    @property
+    def error_rate(self) -> float:
+        return self.failures / self.samples if self.samples else 0.0
+
+
+class HealthMonitor:
+    """A sliding time window of execution outcomes (thread-safe).
+
+    Workers record one outcome per completed line (success, execution
+    error, timeout, exhausted retries); admission-control rejections are
+    deliberately *not* recorded — if shed load counted as failure, the top
+    of the degradation ladder could never climb back down.  The window
+    draining of samples is itself the recovery path: a quiet (or healthy)
+    window reads as error rate 0.
+    """
+
+    def __init__(self, window: float = 5.0,
+                 clock: Callable[[], float] = time.monotonic):
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.window = window
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._events: Deque[Tuple[float, bool]] = deque()
+
+    def record(self, ok: bool) -> None:
+        now = self._clock()
+        with self._lock:
+            self._events.append((now, bool(ok)))
+            self._prune(now)
+
+    def _prune(self, now: float) -> None:  # repro: locked[_lock]
+        while self._events and now - self._events[0][0] > self.window:
+            self._events.popleft()
+
+    def snapshot(self) -> HealthSnapshot:
+        now = self._clock()
+        with self._lock:
+            self._prune(now)
+            samples = len(self._events)
+            failures = sum(1 for _, ok in self._events if not ok)
+        return HealthSnapshot(samples=samples, failures=failures)
+
+
+@dataclass(frozen=True)
+class DegradationPolicy:
+    """Thresholds of the health-driven degradation ladder.
+
+    The ladder trades result quality for survival, one rung at a time, as
+    the windowed error rate climbs (evaluated only once ``min_samples``
+    outcomes are in the window, so a single early failure cannot degrade an
+    idle server):
+
+    * **level 1** (``shed_at``) — stop coalescing: smaller blast radius per
+      batch, full byte-parity semantics;
+    * **level 2** (``reduce_probe_at``) — halve every IVF index's
+      ``n_probe`` (``probe_factor``): cheaper retrieval, slightly lower
+      recall; restored automatically when the ladder drops back below 2;
+    * **level 3** (``reject_at``) — suspend admission with a structured
+      ``overloaded`` error until the window drains.
+    """
+
+    window: float = 5.0
+    min_samples: int = 50
+    shed_at: float = 0.10
+    reduce_probe_at: float = 0.25
+    reject_at: float = 0.50
+    probe_factor: float = 0.5
+
+    def __post_init__(self):
+        if not 0.0 < self.shed_at <= self.reduce_probe_at <= self.reject_at <= 1.0:
+            raise ValueError(
+                "thresholds must satisfy 0 < shed_at <= reduce_probe_at "
+                "<= reject_at <= 1")
+        if self.min_samples < 1:
+            raise ValueError("min_samples must be positive")
+        if not 0.0 < self.probe_factor <= 1.0:
+            raise ValueError("probe_factor must be in (0, 1]")
+
+    def level_for(self, health: HealthSnapshot) -> int:
+        if health.samples < self.min_samples:
+            return 0
+        rate = health.error_rate
+        if rate >= self.reject_at:
+            return 3
+        if rate >= self.reduce_probe_at:
+            return 2
+        if rate >= self.shed_at:
+            return 1
+        return 0
+
+
+# --------------------------------------------------------------------------- #
 # Process-pool worker (module level: must be picklable by reference)
 # --------------------------------------------------------------------------- #
 _PROCESS_REGISTRIES: Dict[str, Any] = {}
@@ -188,6 +309,30 @@ class ConcurrentServingRouter(ServingRouter):
         Process-mode models must have been loaded from a checkpoint (the
         pool worker reloads it); heads outside :data:`PROCESS_SAFE_HEADS`
         stay on the thread pool.
+    retry:
+        Retry retryable unit failures (:func:`is_retryable`: injected
+        retryable faults, :class:`TransientFault` from a restarted process
+        pool) with this policy's backoff before emitting a structured
+        ``retryable`` error.  Safe because all durable state is written
+        ahead idempotently (WAL appends carry final fingerprints keyed by
+        sequence number) — re-running a unit cannot double-apply anything.
+        ``None`` disables retries.
+    quarantine_after:
+        After this many ``execution`` failures of the *same* (head,
+        payloads) request body, further submissions of that body are
+        rejected at admission — a poison request cannot grind the ladder
+        down forever.  ``None`` disables quarantine.
+    degradation:
+        The health-driven :class:`DegradationPolicy` (default: on with
+        stock thresholds; pass ``None`` to disable).  See the policy
+        docstring for the ladder.
+    injector:
+        The :class:`FaultInjector` consulted at the runtime's named sites
+        (``"executor.unit"``).  Defaults to the always-quiet
+        :data:`NULL_INJECTOR`.
+    max_pool_restarts:
+        How many times a crashed process pool is rebuilt before its
+        failures stop being retryable.
 
     Thread contract: :meth:`submit`, :meth:`drain` and :meth:`close` are
     called from one dispatcher thread (the stream loop); completions arrive
@@ -208,6 +353,11 @@ class ConcurrentServingRouter(ServingRouter):
         coalesce: bool = False,
         linger: float = 0.002,
         executors: Optional[Dict[str, str]] = None,
+        retry: Optional[RetryPolicy] = None,
+        quarantine_after: Optional[int] = 3,
+        degradation: Optional[DegradationPolicy] = DegradationPolicy(),
+        injector: FaultInjector = NULL_INJECTOR,
+        max_pool_restarts: int = 2,
     ):
         super().__init__(registry, default_model=default_model, heads=heads,
                          max_batch_size=max_batch_size, defaults=defaults)
@@ -219,6 +369,10 @@ class ConcurrentServingRouter(ServingRouter):
             raise ValueError("timeout must be positive (or None)")
         if linger <= 0:
             raise ValueError("linger must be positive")
+        if quarantine_after is not None and quarantine_after < 1:
+            raise ValueError("quarantine_after must be positive (or None)")
+        if max_pool_restarts < 0:
+            raise ValueError("max_pool_restarts must be non-negative")
         self.workers = workers
         self.max_inflight = max_inflight if max_inflight is not None else 32 * workers
         self.timeout = timeout
@@ -249,6 +403,18 @@ class ConcurrentServingRouter(ServingRouter):
         #: Line-ordered (store, user_id, history) writes of admitted async
         #: envelopes, replayed at barriers (dispatcher-thread only).
         self._write_log: List[Tuple[Any, int, Tuple[int, ...]]] = []
+        self.retry = retry
+        self.quarantine_after = quarantine_after
+        self.degradation = degradation
+        self.injector = injector
+        self.max_pool_restarts = max_pool_restarts
+        self.health = HealthMonitor(
+            window=degradation.window if degradation is not None else 5.0)
+        self._level = 0  # current degradation rung (dispatcher-thread only)
+        self._probe_saved: List[Tuple[Any, int]] = []  # (searcher, original n_probe)
+        self._quarantine: Dict[Tuple[str, str], int] = {}
+        self._quarantine_lock = threading.Lock()
+        self._pool_restarts = 0
         self._closed = False
         self._flusher: Optional[threading.Thread] = None
         if coalesce:
@@ -270,6 +436,12 @@ class ConcurrentServingRouter(ServingRouter):
         the error, exactly as the serial loop does.
         """
         head = self.heads.get(envelope.head)
+        if head.wants_router:
+            # Introspection heads (``status``) answer from the router itself,
+            # inline on the dispatcher — no admission, no workers.
+            response, rows, _ = ServingRouter.execute(self, envelope)
+            on_done(line_number, envelope, response, rows, None)
+            return
         name = envelope.model if envelope.model is not None else self.default_model
         if name is None:
             raise ProtocolError(
@@ -282,6 +454,18 @@ class ConcurrentServingRouter(ServingRouter):
             raise ProtocolError(ERR_UNKNOWN_MODEL, str(error.args[0])) from None
         head.validate_entry(entry)
         requests = self.parse_requests(head, envelope)
+        self._check_quarantine(head, envelope)
+
+        level = self.degradation_level()
+        self._apply_degradation(level)
+        self._level = level
+        if level >= 3:
+            raise ProtocolError(
+                ERR_OVERLOADED,
+                f"server degraded to level {level}: windowed error rate over "
+                f"{self.degradation.reject_at:.0%}; admission suspended, "
+                "retry later",
+            )
 
         if self._stateful(head, requests):
             # Sequential consistency for server-side state: finish everything
@@ -311,7 +495,7 @@ class ConcurrentServingRouter(ServingRouter):
                 self._write_log.append(
                     (entry.sequence_store, request.user_id, tuple(history)))
         key = (name, head.name)
-        if self.coalesce:
+        if self.coalesce and level < 1:
             self._enqueue_group(key, pending)
         else:
             self._thread_pool.submit(self._run_unit, key, [pending])
@@ -336,6 +520,68 @@ class ConcurrentServingRouter(ServingRouter):
     @staticmethod
     def _now() -> float:
         return time.monotonic()
+
+    # ------------------------------------------------------------------ #
+    # Quarantine (poison-request isolation)
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _quarantine_key(head: Head, envelope: Envelope) -> Tuple[str, str]:
+        """A stable identity for one request body: (head, canonical payloads)."""
+        return (head.name, json.dumps(envelope.payloads, sort_keys=True,
+                                      separators=(",", ":"), default=str))
+
+    def _check_quarantine(self, head: Head, envelope: Envelope) -> None:
+        if self.quarantine_after is None:
+            return
+        with self._quarantine_lock:
+            if not self._quarantine:  # fast path: nothing ever poisoned
+                return
+            count = self._quarantine.get(self._quarantine_key(head, envelope), 0)
+        if count >= self.quarantine_after:
+            raise ProtocolError(
+                ERR_EXECUTION,
+                f"request quarantined after {count} execution failures; "
+                "fix the request body before resubmitting",
+            )
+
+    def _note_poison(self, head: Head, envelope: Envelope) -> None:
+        """Count one execution failure against this request body."""
+        if self.quarantine_after is None:
+            return
+        key = self._quarantine_key(head, envelope)
+        with self._quarantine_lock:
+            if len(self._quarantine) < 1024 or key in self._quarantine:
+                self._quarantine[key] = self._quarantine.get(key, 0) + 1
+
+    # ------------------------------------------------------------------ #
+    # The degradation ladder
+    # ------------------------------------------------------------------ #
+    def degradation_level(self) -> int:
+        """The ladder rung the current health window maps to (0 = healthy)."""
+        if self.degradation is None:
+            return 0
+        return self.degradation.level_for(self.health.snapshot())
+
+    def _apply_degradation(self, level: int) -> None:
+        """Apply/undo level-2 retrieval cheapening (dispatcher thread only).
+
+        Level 1 (shed coalescing) and level 3 (admission reject) act at the
+        submission site; level 2 mutates every IVF searcher's ``n_probe``
+        and must restore the saved originals on the way back down.
+        """
+        if level >= 2 and not self._probe_saved:
+            for model_name in self.registry.names():
+                retriever = self.registry.get(model_name).retriever
+                searcher = getattr(retriever, "searcher", None)
+                probe = getattr(searcher, "n_probe", None)
+                if probe is None or probe <= 1:
+                    continue
+                self._probe_saved.append((searcher, probe))
+                searcher.n_probe = max(1, int(probe * self.degradation.probe_factor))
+        elif level < 2 and self._probe_saved:
+            saved, self._probe_saved = self._probe_saved, []
+            for searcher, probe in saved:
+                searcher.n_probe = probe
 
     # ------------------------------------------------------------------ #
     # Coalescing groups
@@ -371,12 +617,25 @@ class ConcurrentServingRouter(ServingRouter):
     # ------------------------------------------------------------------ #
     # Worker-side execution
     # ------------------------------------------------------------------ #
-    def _run_unit(self, key: Tuple[str, str], items: List[_Pending]) -> None:
-        """Execute one (model, head) micro-batch on a worker thread."""
+    def _run_unit(self, key: Tuple[str, str], items: List[_Pending],
+                  attempt: int = 1) -> None:
+        """Execute one (model, head) micro-batch on a worker thread.
+
+        Retryable failures (:func:`is_retryable`) re-run the unit under the
+        configured :class:`RetryPolicy` backoff — safe, because the WAL's
+        idempotent write-ahead records mean a re-run cannot double-apply
+        state.  Exhausted retries answer with a structured ``retryable``
+        error so clients know a later resubmission may succeed.
+        """
         try:
             results = self._execute_requests(
                 key, [request for item in items for request in item.requests])
         except Exception as error:  # noqa: BLE001 — must answer, not crash
+            if (self.retry is not None and is_retryable(error)
+                    and attempt < self.retry.max_attempts):
+                time.sleep(self.retry.backoff(attempt))
+                self._run_unit(key, items, attempt=attempt + 1)
+                return
             if len(items) > 1:
                 # Isolate the failure: a poisoned request in a coalesced
                 # batch must not take its neighbours down with it.
@@ -384,7 +643,13 @@ class ConcurrentServingRouter(ServingRouter):
                     self._run_unit(key, [item])
                 return
             pending = items[0]
-            code = error.code if isinstance(error, ProtocolError) else ERR_EXECUTION
+            if isinstance(error, ProtocolError):
+                code = error.code
+            elif is_retryable(error):
+                code = ERR_RETRYABLE
+            else:
+                code = ERR_EXECUTION
+                self._note_poison(pending.head, pending.envelope)
             self._complete(pending, error_response(
                 code, str(error), line=pending.line,
                 request_id=pending.envelope.request_id), 0, code)
@@ -398,13 +663,28 @@ class ConcurrentServingRouter(ServingRouter):
 
     def _execute_requests(self, key: Tuple[str, str], requests: List) -> List:
         name, head_name = key
+        self.injector.hit("executor.unit", context=f"{name}:{head_name}")
         entry = self.registry.get(name)
         head = self.heads.get(head_name)
         if self.executors.get(name) == "process" and head_name in PROCESS_SAFE_HEADS:
             pool = self._ensure_process_pool()
-            future = pool.submit(_process_execute, str(entry.source), head_name,
-                                 tuple(requests), self.max_batch_size)
-            return future.result()
+            try:
+                future = pool.submit(_process_execute, str(entry.source),
+                                     head_name, tuple(requests),
+                                     self.max_batch_size)
+                return future.result()
+            except BrokenProcessPool:
+                # A worker process died (OOM kill, segfault, hard crash).
+                # Rebuild the pool — bounded, so a deterministic crasher
+                # cannot restart forever — and surface a retryable fault:
+                # nothing was mutated, the unit is safe to re-run.
+                if self._restart_process_pool():
+                    raise TransientFault(
+                        f"worker process pool crashed executing "
+                        f"{name}:{head_name}; pool restarted "
+                        f"({self._pool_restarts}/{self.max_pool_restarts})"
+                    ) from None
+                raise
         lease = self._borrow(key, entry)
         try:
             return head.execute(lease, requests)
@@ -416,6 +696,22 @@ class ConcurrentServingRouter(ServingRouter):
             if self._process_pool is None:
                 self._process_pool = ProcessPoolExecutor(max_workers=self.workers)
             return self._process_pool
+
+    def _restart_process_pool(self) -> bool:
+        """Tear down and rebuild a crashed process pool (bounded).
+
+        Returns whether a restart was performed; ``False`` once the budget
+        (``max_pool_restarts``) is spent, at which point the broken pool's
+        failures propagate non-retryably.
+        """
+        with self._idle_lock:
+            if self._pool_restarts >= self.max_pool_restarts:
+                return False
+            self._pool_restarts += 1
+            broken, self._process_pool = self._process_pool, None
+        if broken is not None:
+            broken.shutdown(wait=False, cancel_futures=True)
+        return True
 
     def _borrow(self, key: Tuple[str, str], entry):
         """A micro-batcher for this (model, head), reused across units.
@@ -447,6 +743,7 @@ class ConcurrentServingRouter(ServingRouter):
     def _complete(self, pending: _Pending, response: dict, rows: int,
                   code: Optional[str]) -> None:
         if pending.claim():
+            self.health.record(code is None)
             try:
                 pending.on_done(pending.line, pending.envelope, response,
                                 rows, code)
@@ -511,6 +808,42 @@ class ConcurrentServingRouter(ServingRouter):
         for store, user_id, history in log:
             store.encode(user_id, history)
 
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def status_payload(self) -> dict:
+        """The serial payload plus a ``runtime`` block for this router."""
+        payload = ServingRouter.status_payload(self)
+        health = self.health.snapshot()
+        with self._quarantine_lock:
+            quarantined = sum(
+                1 for count in self._quarantine.values()
+                if self.quarantine_after is not None
+                and count >= self.quarantine_after)
+        with self._idle_lock:
+            pool_restarts = self._pool_restarts
+        payload["runtime"] = {
+            "workers": self.workers,
+            "inflight": self.inflight(),
+            "max_inflight": self.max_inflight,
+            "coalesce": self.coalesce,
+            "degradation_level": self._level,
+            "health": {
+                "samples": health.samples,
+                "failures": health.failures,
+                "error_rate": health.error_rate,
+                "window": self.health.window,
+            },
+            "quarantined": quarantined,
+            "pool_restarts": pool_restarts,
+            "retry": (
+                {"max_attempts": self.retry.max_attempts,
+                 "base_delay": self.retry.base_delay,
+                 "max_delay": self.retry.max_delay}
+                if self.retry is not None else None),
+        }
+        return payload
+
     def close(self) -> None:
         """Shut the pools down; queued-but-unstarted work is cancelled."""
         self._closed = True
@@ -542,6 +875,10 @@ def serve_concurrent_jsonl(
     coalesce: bool = False,
     linger: float = 0.002,
     executors: Optional[Dict[str, str]] = None,
+    retry: Optional[RetryPolicy] = None,
+    quarantine_after: Optional[int] = 3,
+    degradation: Optional[DegradationPolicy] = DegradationPolicy(),
+    injector: FaultInjector = NULL_INJECTOR,
 ) -> ServeSummary:
     """Serve JSONL requests through the concurrent router until EOF.
 
@@ -560,10 +897,14 @@ def serve_concurrent_jsonl(
         defaults=ServeDefaults(k=k, n_retrieve=n_retrieve),
         workers=workers, max_inflight=max_inflight, timeout=timeout,
         coalesce=coalesce, linger=linger, executors=executors,
+        retry=retry, quarantine_after=quarantine_after,
+        degradation=degradation, injector=injector,
     )
     # Fail fast on an unservable default route, exactly like the serial loop.
-    router.batcher_for(name, head)
+    if not router.heads.get(head).wants_router:
+        router.batcher_for(name, head)
     summary = ServeSummary()
+    router.summary = summary
     write_lock = threading.Lock()
 
     def emit(body: dict) -> None:

@@ -1,0 +1,662 @@
+"""Durable serving state: write-ahead log, snapshots, crash recovery.
+
+The serving runtime's only mutable state is the user-sequence store (the
+``update`` head's server-side sequences).  This module makes that state
+survive a crash:
+
+* :class:`WriteAheadLog` — an append-only, fsync-batched log of JSON
+  records, one line per store mutation, each carrying a monotonic sequence
+  number and a CRC32 checksum.  Appends are buffered and fsynced every
+  ``fsync_every`` records (``lag`` = records acknowledged but not yet on
+  disk); recovery tolerates a torn tail (a partially written last record is
+  detected by checksum/framing and truncated) but refuses mid-file
+  corruption, which means the disk — not this code — lost data.
+
+* :class:`DurableSequenceStore` — a drop-in
+  :class:`~repro.serving.cache.UserSequenceStore` /
+  :class:`~repro.serving.cache.ShardedUserSequenceStore` facade that
+  journals every mutation to the WAL **before** applying it (write-ahead
+  semantics: a journal append that fails aborts the mutation, so the log is
+  always a superset of the applied state), checkpoints the store's
+  ``snapshot()`` atomically, compacts the log to the records newer than the
+  checkpoint, and on startup replays snapshot + tail to recover the store
+  **byte-identically** to its pre-crash ``snapshot()`` — the property the
+  crash-recovery test battery proves at every append boundary.
+
+  Replay is idempotent by construction: every put record carries the final
+  fingerprint and stamp (not a delta), so records that overlap a snapshot
+  re-apply harmlessly — and that same idempotence is what makes retrying a
+  failed WAL append safe.
+
+The WAL doubles as the **durable interaction log**: ``record`` entries keep
+their raw ``events``, so an offline retrain loop can tail the log and see
+every user interaction the ``update`` head ingested, in order.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, Hashable, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.serialization import atomic_write, atomic_write_text
+from repro.serving.cache import (
+    CacheStats,
+    ShardedUserSequenceStore,
+    UserSequenceStore,
+    _CachedSequence,
+)
+from repro.serving.faults import NULL_INJECTOR, FaultInjector
+
+PathLike = Union[str, Path]
+
+#: Every op the store journal may emit.  The analyzer's protocol-completeness
+#: rule checks each ``_journal_op``/``_journal_topology`` call site against
+#: this tuple, so a new mutation cannot silently bypass the replay vocabulary.
+WAL_OPS = (
+    "record",   # update-head write: events appended (the interaction log rows)
+    "append",   # append_event: one event extended onto a resident entry
+    "put",      # explicit-history re-encode replacing an entry
+    "touch",    # read hit: LRU recency refresh (part of snapshot()'s bytes)
+    "del",      # invalidate()
+    "expire",   # TTL expiry pop
+    "evict",    # capacity eviction (redundant on replay, kept for the log)
+    "clear",    # clear()
+    "add_shard",     # topology: shard joined (optionally with seed snapshot)
+    "remove_shard",  # topology: shard detached
+)
+
+_SNAPSHOT_NAME = "snapshot.json"
+_WAL_NAME = "wal.jsonl"
+_SNAPSHOT_FORMAT = 1
+
+
+class WALError(RuntimeError):
+    """The write-ahead log is unusable (broken writer or unreadable file)."""
+
+
+class WALCorruptionError(WALError):
+    """The log is damaged somewhere other than its tail.
+
+    A torn *tail* is the expected crash signature and is healed by
+    truncation; a bad record with valid records after it means the storage
+    corrupted history — recovery refuses to guess and fails loudly.
+    """
+
+
+# --------------------------------------------------------------------------- #
+# Record framing: one line = <canonical json> <space> <crc32 hex> <newline>
+# --------------------------------------------------------------------------- #
+def _encode_line(body: dict) -> bytes:
+    payload = json.dumps(body, separators=(",", ":"), sort_keys=True)
+    crc = zlib.crc32(payload.encode("utf-8")) & 0xFFFFFFFF
+    return f"{payload} {crc:08x}\n".encode("utf-8")
+
+
+def _decode_line(line: bytes) -> dict:
+    """Parse one framed record; raises ``ValueError`` on any damage."""
+    body, _, crc_hex = line.rstrip(b"\n").rpartition(b" ")
+    if not body:
+        raise ValueError("record has no checksum field")
+    if int(crc_hex, 16) != zlib.crc32(body) & 0xFFFFFFFF:
+        raise ValueError("record checksum mismatch")
+    return json.loads(body.decode("utf-8"))
+
+
+@dataclass
+class WALScan:
+    """The result of reading a log file front to back."""
+
+    records: List[dict]
+    last_seq: int
+    #: ``True`` when a partially written final record was dropped.
+    torn: bool
+    #: Byte length of the valid prefix (the truncation point for healing).
+    valid_bytes: int
+
+
+def read_wal(path: PathLike) -> WALScan:
+    """Scan a WAL file, validating framing, checksums and seq monotonicity.
+
+    A damaged *final* record (torn write at crash time) is reported via
+    ``torn`` and excluded; damage anywhere else raises
+    :class:`WALCorruptionError`.
+    """
+    path = Path(path)
+    data = path.read_bytes() if path.exists() else b""
+    records: List[dict] = []
+    last_seq = 0
+    offset = 0
+    torn = False
+    while offset < len(data):
+        newline = data.find(b"\n", offset)
+        if newline < 0:  # no terminator: the classic torn tail
+            torn = True
+            break
+        line = data[offset:newline + 1]
+        try:
+            record = _decode_line(line)
+            seq = int(record["seq"])
+            if seq <= last_seq:
+                raise ValueError(f"sequence went backwards ({last_seq} -> {seq})")
+        except (ValueError, KeyError, TypeError) as error:
+            if _any_valid_record(data, newline + 1):
+                raise WALCorruptionError(
+                    f"{path}: damaged record at byte {offset} with valid "
+                    f"records after it ({error})"
+                ) from None
+            torn = True
+            break
+        records.append(record)
+        last_seq = seq
+        offset = newline + 1
+    return WALScan(records=records, last_seq=last_seq, torn=torn,
+                   valid_bytes=offset)
+
+
+def _any_valid_record(data: bytes, offset: int) -> bool:
+    """Whether any complete, checksummed record exists at/after ``offset``."""
+    while offset < len(data):
+        newline = data.find(b"\n", offset)
+        if newline < 0:
+            return False
+        try:
+            _decode_line(data[offset:newline + 1])
+            return True
+        except (ValueError, KeyError):
+            offset = newline + 1
+    return False
+
+
+# --------------------------------------------------------------------------- #
+# The write-ahead log
+# --------------------------------------------------------------------------- #
+class WriteAheadLog:
+    """Append-only, checksummed, fsync-batched log of JSON records.
+
+    ``append`` assigns the next sequence number, frames and buffers the
+    record, and fsyncs once ``fsync_every`` records are pending — the
+    classic durability/throughput dial (``fsync_every=1`` is synchronous
+    commit).  ``lag`` (appended − synced) is the data-loss window a hard
+    crash could cost; :meth:`sync` closes it on demand and callers close it
+    at every checkpoint and clean shutdown.
+
+    Thread-safe; a torn-write fault (injected or real ENOSPC mid-write)
+    marks the log **broken** — further appends refuse, and the owner must
+    recover by reopening, exactly as a crashed process would.
+    """
+
+    def __init__(self, path: PathLike, fsync_every: int = 256,
+                 start_seq: int = 0,
+                 injector: Optional[FaultInjector] = None):
+        if fsync_every < 1:
+            raise ValueError("fsync_every must be at least 1")
+        self.path = Path(path)
+        self.fsync_every = fsync_every
+        self._injector = injector if injector is not None else NULL_INJECTOR
+        self._lock = threading.Lock()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._file = open(self.path, "ab")
+        self._last_seq = int(start_seq)
+        self._synced_seq = int(start_seq)
+        self._appends = 0
+        self._fsyncs = 0
+        self._pending = 0
+        self._broken = False
+
+    # -- write path ----------------------------------------------------- #
+    def append(self, record: dict) -> int:
+        """Frame and append one record; returns its sequence number.
+
+        The injected fault sites: ``wal.append`` fires *before* anything is
+        written (clean abort, safe to retry), ``wal.torn`` truncates the
+        written bytes and breaks the log (the crash-mid-write signature),
+        ``wal.fsync`` fires inside the batched fsync.
+        """
+        with self._lock:
+            if self._broken:
+                raise WALError(
+                    f"{self.path}: log is broken after a torn write; reopen "
+                    "to recover"
+                )
+            self._injector.hit("wal.append", context=str(record.get("op", "")))
+            seq = self._last_seq + 1
+            # The log owns sequencing: an (erroneous) caller-supplied "seq"
+            # must never override the assigned one.
+            data = _encode_line({**record, "seq": seq})
+            torn = self._injector.torn("wal.torn", data)
+            if torn is not None:
+                self._file.write(torn)
+                self._file.flush()
+                os.fsync(self._file.fileno())
+                self._broken = True
+                raise WALError(
+                    f"{self.path}: torn write after {len(torn)} of "
+                    f"{len(data)} bytes"
+                )
+            self._file.write(data)
+            self._last_seq = seq
+            self._appends += 1
+            self._pending += 1
+            if self._pending >= self.fsync_every:
+                self._sync_locked()
+            return seq
+
+    def sync(self) -> None:
+        """Flush and fsync everything appended so far (``lag`` → 0)."""
+        with self._lock:
+            self._sync_locked()
+
+    def _sync_locked(self) -> None:  # repro: locked[_lock]
+        self._file.flush()
+        self._injector.hit("wal.fsync")
+        os.fsync(self._file.fileno())
+        self._fsyncs += 1
+        self._pending = 0
+        self._synced_seq = self._last_seq
+
+    # -- maintenance ----------------------------------------------------- #
+    def compact(self, snapshot_seq: int) -> int:
+        """Atomically rewrite the log to records newer than ``snapshot_seq``.
+
+        Called after a checkpoint: everything at or below the checkpointed
+        sequence is reconstructible from the snapshot, so only the tail is
+        kept.  Returns the number of records retained.
+        """
+        with self._lock:
+            self._file.flush()
+            scan = read_wal(self.path)
+            keep = [record for record in scan.records
+                    if int(record["seq"]) > snapshot_seq]
+            self._file.close()
+            with atomic_write(self.path, "wb") as handle:
+                for record in keep:
+                    handle.write(_encode_line(record))
+            self._file = open(self.path, "ab")
+            self._pending = 0
+            self._synced_seq = self._last_seq
+            self._broken = False
+            return len(keep)
+
+    def close(self) -> None:
+        with self._lock:
+            if self._file.closed:
+                return
+            if not self._broken:
+                self._sync_locked()
+            self._file.close()
+
+    # -- observability --------------------------------------------------- #
+    @property
+    def last_seq(self) -> int:
+        with self._lock:
+            return self._last_seq
+
+    @property
+    def synced_seq(self) -> int:
+        with self._lock:
+            return self._synced_seq
+
+    def status(self) -> dict:
+        """Counters for the ``status`` head: lag is the crash-loss window."""
+        with self._lock:
+            return {
+                "path": str(self.path),
+                "last_seq": self._last_seq,
+                "synced_seq": self._synced_seq,
+                "lag": self._last_seq - self._synced_seq,
+                "appends": self._appends,
+                "fsyncs": self._fsyncs,
+                "fsync_every": self.fsync_every,
+                "broken": self._broken,
+            }
+
+
+# --------------------------------------------------------------------------- #
+# Snapshot document <-> store snapshot (JSON round-trip safety)
+# --------------------------------------------------------------------------- #
+def _state_to_doc(state: dict) -> dict:
+    """JSON dicts stringify non-string keys, so shard maps travel as pairs."""
+    if "shards" in state:
+        doc = {key: value for key, value in state.items() if key != "shards"}
+        doc["shards"] = [[shard_id, snap]
+                         for shard_id, snap in state["shards"].items()]
+        return doc
+    return state
+
+
+def _doc_to_state(doc: dict) -> dict:
+    if "shards" in doc:
+        state = {key: value for key, value in doc.items() if key != "shards"}
+        state["shards"] = {_shard_key(shard_id): snap
+                           for shard_id, snap in doc["shards"]}
+        return state
+    return doc
+
+
+def _shard_key(shard_id) -> Hashable:
+    """JSON arrays come back as lists, which cannot key a dict."""
+    return tuple(shard_id) if isinstance(shard_id, list) else shard_id
+
+
+@dataclass
+class RecoveryReport:
+    """What startup recovery found and did (surfaced by ``status``/CLI)."""
+
+    snapshot_seq: int      # sequence the loaded snapshot was taken at (0: none)
+    replayed: int          # WAL records applied on top of the snapshot
+    skipped: int           # WAL records already covered by the snapshot
+    torn_tail: bool        # a partial final record was truncated away
+    last_seq: int          # the sequence the store resumed at
+
+
+# --------------------------------------------------------------------------- #
+# The durable store facade
+# --------------------------------------------------------------------------- #
+class DurableSequenceStore:
+    """A user-sequence store whose every mutation survives a crash.
+
+    Drop-in for :class:`UserSequenceStore` / its sharded sibling (the
+    micro-batcher, the ``update`` head and the routers cannot tell them
+    apart): same ``encode`` / ``encode_stored`` / ``history`` /
+    ``append_event`` / ``record`` / ``stats`` / ``snapshot`` surface, plus
+
+    * **write-ahead journaling** — the inner store emits one record per
+      mutation *before* applying it; the records land in a
+      :class:`WriteAheadLog` under ``directory``;
+    * **startup recovery** — the constructor loads the last checkpoint (if
+      any), heals a torn WAL tail, replays the tail records in order and
+      reports the result (:attr:`recovery`); the recovered state is
+      byte-identical to the pre-crash ``snapshot()``;
+    * **checkpoint + compaction** — :meth:`checkpoint` atomically persists
+      ``snapshot()`` and shrinks the log to the records the snapshot does
+      not cover; call it at drains, shutdowns, or on a timer.
+
+    ``clock`` defaults to wall time (``time.time``) rather than the inner
+    store's monotonic default: TTL stamps live in the WAL and must stay
+    meaningful across process restarts.  ``log_reads=False`` drops the
+    ``touch`` records read hits emit — cheaper and fine for the interaction
+    log, but recovery then restores *contents* exactly while LRU recency may
+    differ, so keep it on when eviction-order fidelity matters.
+    """
+
+    def __init__(
+        self,
+        directory: PathLike,
+        max_seq_len: int,
+        capacity: int = 4096,
+        ttl: Optional[float] = None,
+        clock: Callable[[], float] = time.time,
+        shards: Union[int, Sequence[Hashable]] = 1,
+        replicas: int = 64,
+        fsync_every: int = 256,
+        log_reads: bool = True,
+        injector: Optional[FaultInjector] = None,
+    ):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.log_reads = bool(log_reads)
+        self._injector = injector if injector is not None else NULL_INJECTOR
+        self._snapshot_path = self.directory / _SNAPSHOT_NAME
+        self._wal_path = self.directory / _WAL_NAME
+        self._checkpoint_lock = threading.Lock()
+
+        doc = self._load_snapshot_doc()
+        self._store = self._build_store(doc, max_seq_len, capacity, ttl,
+                                        clock, shards, replicas)
+        self._kind = ("sharded"
+                      if isinstance(self._store, ShardedUserSequenceStore)
+                      else "single")
+        snapshot_seq = int(doc["seq"]) if doc is not None else 0
+        if doc is not None:
+            self._store.restore(_doc_to_state(doc["state"]))
+
+        scan = read_wal(self._wal_path)
+        if scan.torn:
+            self._truncate_wal(scan.valid_bytes)
+        replayed = skipped = 0
+        for record in scan.records:
+            if int(record["seq"]) <= snapshot_seq:
+                skipped += 1
+                continue
+            self._store.apply_journal(record)
+            replayed += 1
+
+        start_seq = max(snapshot_seq, scan.last_seq)
+        self._snapshot_seq = snapshot_seq
+        self._wal = WriteAheadLog(self._wal_path, fsync_every=fsync_every,
+                                  start_seq=start_seq, injector=self._injector)
+        self.recovery = RecoveryReport(
+            snapshot_seq=snapshot_seq, replayed=replayed, skipped=skipped,
+            torn_tail=scan.torn, last_seq=start_seq)
+        self._store.set_journal(self._journal_sink)
+
+    # -- construction helpers -------------------------------------------- #
+    def _load_snapshot_doc(self) -> Optional[dict]:
+        if not self._snapshot_path.exists():
+            return None
+        doc = json.loads(self._snapshot_path.read_text())
+        if doc.get("format") != _SNAPSHOT_FORMAT:
+            raise WALError(
+                f"{self._snapshot_path} has snapshot format "
+                f"{doc.get('format')!r}; this build reads {_SNAPSHOT_FORMAT}"
+            )
+        return doc
+
+    def _build_store(self, doc, max_seq_len, capacity, ttl, clock,
+                     shards, replicas):
+        """The inner store, with geometry from the snapshot when one exists.
+
+        Topology ops are journaled, so the shard set at checkpoint time —
+        not the configured one — is authoritative for recovery.
+        """
+        if doc is not None and doc["kind"] == "sharded":
+            shard_ids = [_shard_key(shard_id)
+                         for shard_id, _ in doc["state"]["shards"]]
+            return ShardedUserSequenceStore(
+                max_seq_len, capacity=capacity, ttl=ttl, clock=clock,
+                shards=shard_ids, replicas=replicas)
+        if doc is not None:
+            return UserSequenceStore(max_seq_len, capacity=capacity, ttl=ttl,
+                                     clock=clock)
+        if isinstance(shards, int) and shards <= 1:
+            return UserSequenceStore(max_seq_len, capacity=capacity, ttl=ttl,
+                                     clock=clock)
+        return ShardedUserSequenceStore(max_seq_len, capacity=capacity,
+                                        ttl=ttl, clock=clock, shards=shards,
+                                        replicas=replicas)
+
+    def _truncate_wal(self, valid_bytes: int) -> None:
+        with open(self._wal_path, "r+b") as handle:
+            handle.truncate(valid_bytes)
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def _journal_sink(self, record: dict) -> None:
+        """The inner store's journal: every mutation record → WAL append."""
+        if not self.log_reads and record.get("op") == "touch":
+            return
+        self._wal.append(record)
+
+    # ------------------------------------------------------------------ #
+    # Durability operations
+    # ------------------------------------------------------------------ #
+    def checkpoint(self) -> int:
+        """Persist ``snapshot()`` atomically and compact the log; returns
+        the checkpointed sequence.
+
+        Safe under concurrent traffic: any mutation journaled after the
+        sequence was read lands *above* the checkpoint sequence and is kept
+        by compaction; if it also made it into the snapshot, replay
+        re-applies it idempotently.
+        """
+        with self._checkpoint_lock:
+            seq = self._wal.last_seq
+            state = self._store.snapshot()
+            self._wal.sync()
+            doc = {"format": _SNAPSHOT_FORMAT, "kind": self._kind,
+                   "seq": seq, "state": _state_to_doc(state)}
+            atomic_write_text(self._snapshot_path,
+                              json.dumps(doc, separators=(",", ":"),
+                                         sort_keys=True))
+            self._wal.compact(seq)
+            self._snapshot_seq = seq
+            return seq
+
+    def sync(self) -> None:
+        """Force the WAL to disk (``lag`` → 0) without checkpointing."""
+        self._wal.sync()
+
+    def close(self) -> None:
+        """Checkpoint and release the log (the clean-shutdown path)."""
+        self.checkpoint()
+        self._wal.close()
+
+    def wal_status(self) -> dict:
+        """WAL counters + recovery summary for the ``status`` head."""
+        report = self.recovery
+        return {
+            **self._wal.status(),
+            "snapshot_seq": self._snapshot_seq,
+            "recovered_replayed": report.replayed,
+            "recovered_skipped": report.skipped,
+            "recovered_torn_tail": report.torn_tail,
+        }
+
+    # ------------------------------------------------------------------ #
+    # UserSequenceStore surface (delegated)
+    # ------------------------------------------------------------------ #
+    @property
+    def max_seq_len(self) -> int:
+        return self._store.max_seq_len
+
+    @property
+    def ttl(self) -> Optional[float]:
+        return self._store.ttl
+
+    @property
+    def capacity(self) -> int:
+        return self._store.capacity
+
+    @property
+    def stats(self) -> CacheStats:
+        return self._store.stats
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def __contains__(self, user_id: int) -> bool:
+        return user_id in self._store
+
+    def encode(self, user_id: int, history: Sequence[int]) -> Tuple[np.ndarray, np.ndarray]:
+        return self._store.encode(user_id, history)
+
+    def encode_stored(self, user_id: int) -> Tuple[np.ndarray, np.ndarray]:
+        return self._store.encode_stored(user_id)
+
+    def history(self, user_id: int) -> Optional[Tuple[int, ...]]:
+        return self._store.history(user_id)
+
+    def append_event(self, user_id: int, dynamic_index: int) -> None:
+        self._store.append_event(user_id, dynamic_index)
+
+    def record(self, user_id: int, events: Iterable[int]) -> _CachedSequence:
+        # The store-level fault site fires before any mutation, so a failed
+        # (then retried) record can never double-append events.
+        self._injector.hit("store.record", context=str(user_id))
+        return self._store.record(user_id, events)
+
+    def invalidate(self, user_id: int) -> None:
+        self._store.invalidate(user_id)
+
+    def clear(self) -> None:
+        self._store.clear()
+
+    def snapshot(self, *args, **kwargs) -> dict:
+        return self._store.snapshot(*args, **kwargs)
+
+    def restore(self, snapshot: dict, *args, **kwargs) -> None:
+        """Restore then re-checkpoint: bulk state swaps bypass the journal,
+        so the snapshot file — not the WAL — must carry the new state."""
+        self._store.set_journal(None)
+        try:
+            self._store.restore(snapshot, *args, **kwargs)
+        finally:
+            self._store.set_journal(self._journal_sink)
+        self.checkpoint()
+
+    def shard_report(self) -> Optional[Dict[str, dict]]:
+        """Per-shard health when sharded, else ``None``."""
+        report = getattr(self._store, "shard_report", None)
+        return report() if report is not None else None
+
+    def shard_ids(self):
+        return self._store.shard_ids()  # type: ignore[union-attr]
+
+    def add_shard(self, shard_id: Hashable,
+                  snapshot: Optional[dict] = None) -> None:
+        self._store.add_shard(shard_id, snapshot)  # type: ignore[union-attr]
+
+    def remove_shard(self, shard_id: Hashable) -> dict:
+        return self._store.remove_shard(shard_id)  # type: ignore[union-attr]
+
+
+# --------------------------------------------------------------------------- #
+# Offline inspection (the CLI `status --wal DIR` path)
+# --------------------------------------------------------------------------- #
+def inspect_durability(directory: PathLike) -> dict:
+    """Summarise a durability directory without constructing a store.
+
+    Reads the snapshot header and scans the WAL: sequence positions, per-op
+    record counts, torn-tail state and on-disk sizes — the offline half of
+    the ``status`` head.
+    """
+    directory = Path(directory)
+    snapshot_path = directory / _SNAPSHOT_NAME
+    wal_path = directory / _WAL_NAME
+    summary: dict = {
+        "directory": str(directory),
+        "snapshot": None,
+        "wal": None,
+    }
+    if snapshot_path.exists():
+        doc = json.loads(snapshot_path.read_text())
+        state = doc.get("state", {})
+        if doc.get("kind") == "sharded":
+            users = sum(len(snap.get("entries", ()))
+                        for _, snap in state.get("shards", ()))
+            shards = len(state.get("shards", ()))
+        else:
+            users = len(state.get("entries", ()))
+            shards = 1
+        summary["snapshot"] = {
+            "seq": int(doc.get("seq", 0)),
+            "kind": doc.get("kind"),
+            "shards": shards,
+            "users": users,
+            "bytes": snapshot_path.stat().st_size,
+        }
+    if wal_path.exists():
+        scan = read_wal(wal_path)
+        ops: Dict[str, int] = {}
+        for record in scan.records:
+            op = str(record.get("op", "?"))
+            ops[op] = ops.get(op, 0) + 1
+        snapshot_seq = summary["snapshot"]["seq"] if summary["snapshot"] else 0
+        summary["wal"] = {
+            "records": len(scan.records),
+            "last_seq": scan.last_seq,
+            "since_snapshot": sum(1 for record in scan.records
+                                  if int(record["seq"]) > snapshot_seq),
+            "torn_tail": scan.torn,
+            "ops": ops,
+            "bytes": wal_path.stat().st_size,
+        }
+    return summary

@@ -1,0 +1,242 @@
+"""Deterministic fault injection and retry policy for the serving runtime.
+
+Robustness claims are only as good as the failures they were tested against,
+and real failures (a torn disk write, a worker that dies mid-batch, an fsync
+that never returns) are miserable to reproduce.  This module makes them
+cheap and *deterministic*:
+
+* :class:`FaultInjector` — a seeded registry of fault specs, keyed by
+  **site** name (``"wal.append"``, ``"store.record"``, ``"executor.unit"``,
+  …).  Production code calls :meth:`FaultInjector.hit` at each site; with no
+  spec armed that is one dict lookup, so the hooks stay in the hot path
+  permanently.  Tests arm :class:`FaultSpec` objects (raise / delay / torn
+  byte truncation, with probability, count and trigger-offset controls) and
+  replay the exact same failure schedule from the same seed.
+
+* :class:`RetryPolicy` — exponential backoff with **full jitter**
+  (AWS-style: sleep is uniform on ``[0, min(cap, base·2^attempt))``), the
+  client half of self-healing.  Faults marked retryable
+  (:func:`is_retryable`) are retried by the concurrent router before a
+  structured ``retryable`` error is emitted.
+
+Everything here is dependency-free and importable from kernels to tests;
+the injector is thread-safe so worker pools can share one schedule.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+class InjectedFault(RuntimeError):
+    """A failure raised by an armed :class:`FaultSpec`.
+
+    Carries the site it fired at and whether the operation is safe to retry
+    (``retryable`` faults fire *before* any state mutation at their site, so
+    re-running the operation cannot double-apply anything).
+    """
+
+    def __init__(self, site: str, message: str = "", retryable: bool = False):
+        super().__init__(message or f"injected fault at {site!r}")
+        self.site = site
+        self.retryable = retryable
+
+
+def is_retryable(error: BaseException) -> bool:
+    """Whether ``error`` advertises itself as safe to retry."""
+    return bool(getattr(error, "retryable", False))
+
+
+class TransientFault(RuntimeError):
+    """A real (non-injected) infrastructure failure that is safe to retry.
+
+    Raised by runtime components when an operation failed *before* any state
+    mutation — e.g. a crashed worker-process pool that has been restarted —
+    so the retry loop treats it exactly like a retryable injected fault.
+    """
+
+    retryable = True
+
+
+@dataclass
+class FaultSpec:
+    """One armed failure mode at one site.
+
+    Parameters
+    ----------
+    site:
+        The site name the spec listens on.
+    kind:
+        ``"raise"`` (throw :class:`InjectedFault`), ``"delay"`` (sleep
+        ``delay`` seconds), or ``"torn"`` (truncate the bytes offered to
+        :meth:`FaultInjector.torn` — the torn-write/partial-append fault).
+    probability:
+        Chance an eligible hit fires, drawn from the spec's own seeded RNG
+        so schedules replay exactly.  ``1.0`` fires every eligible hit.
+    times:
+        Stop firing after this many firings (``None``: unbounded).
+    after:
+        Skip the first ``after`` eligible hits before becoming live —
+        "fail the third append" is ``after=2, times=1``.
+    retryable:
+        Tag raised faults as retryable (see :func:`is_retryable`).
+    delay:
+        Sleep length for ``kind="delay"``.
+    keep_bytes:
+        For ``kind="torn"``: bytes of the offered payload to keep.  ``0``
+        keeps the first half.
+    match:
+        Only hits whose context string contains this substring are eligible
+        (e.g. target one model or one user id).
+    """
+
+    site: str
+    kind: str = "raise"
+    probability: float = 1.0
+    times: Optional[int] = None
+    after: int = 0
+    retryable: bool = False
+    delay: float = 0.0
+    keep_bytes: int = 0
+    match: Optional[str] = None
+    #: Bookkeeping (mutated under the injector's lock).
+    fired: int = 0
+    seen: int = 0
+    _rng: random.Random = field(default=None, repr=False, compare=False)  # type: ignore[assignment]
+
+    def __post_init__(self):
+        if self.kind not in ("raise", "delay", "torn"):
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+
+
+class FaultInjector:
+    """A seeded, thread-safe schedule of failures at named sites.
+
+    The same seed and the same sequence of ``hit``/``torn`` calls produce
+    the same firings — chaos tests are reproducible runs, not dice rolls.
+    An injector with nothing armed is effectively free (one attribute read
+    per site), so production paths keep their hooks unconditionally; the
+    module-level :data:`NULL_INJECTOR` is the shared always-quiet default.
+    """
+
+    def __init__(self, seed: int = 0):
+        self.seed = int(seed)
+        self._lock = threading.Lock()
+        self._specs: Dict[str, List[FaultSpec]] = {}
+
+    def arm(self, site: str, kind: str = "raise", **kwargs) -> FaultSpec:
+        """Arm one :class:`FaultSpec` at ``site``; returns it for inspection."""
+        spec = FaultSpec(site=site, kind=kind, **kwargs)
+        with self._lock:
+            bucket = self._specs.setdefault(site, [])
+            token = f"{self.seed}:{site}:{len(bucket)}"
+            spec._rng = random.Random(zlib.crc32(token.encode("utf-8")))
+            bucket.append(spec)
+        return spec
+
+    def reset(self) -> None:
+        """Disarm everything (counters on returned specs are preserved)."""
+        with self._lock:
+            self._specs = {}
+
+    def fired(self, site: str) -> int:
+        """Total firings at ``site`` across all armed specs."""
+        with self._lock:
+            return sum(spec.fired for spec in self._specs.get(site, ()))
+
+    def _due(self, spec: FaultSpec, context: str) -> bool:  # repro: locked[_lock]
+        """Whether one eligible hit fires ``spec`` (advances its counters)."""
+        if spec.match is not None and spec.match not in context:
+            return False
+        spec.seen += 1
+        if spec.seen <= spec.after:
+            return False
+        if spec.times is not None and spec.fired >= spec.times:
+            return False
+        if spec.probability < 1.0 and spec._rng.random() >= spec.probability:
+            return False
+        spec.fired += 1
+        return True
+
+    def hit(self, site: str, context: str = "") -> None:
+        """Pass through ``site``: sleep and/or raise per the armed specs."""
+        if not self._specs:
+            return
+        delay = 0.0
+        fault: Optional[InjectedFault] = None
+        with self._lock:
+            for spec in self._specs.get(site, ()):
+                if spec.kind == "torn":
+                    continue
+                if not self._due(spec, context):
+                    continue
+                if spec.kind == "delay":
+                    delay = max(delay, spec.delay)
+                else:
+                    fault = InjectedFault(site, retryable=spec.retryable)
+                    break
+        if delay > 0.0:
+            time.sleep(delay)
+        if fault is not None:
+            raise fault
+
+    def torn(self, site: str, data: bytes, context: str = "") -> Optional[bytes]:
+        """The truncated payload a torn-write fault leaves, or ``None``.
+
+        Callers write the returned prefix in place of ``data`` and then
+        simulate the crash (typically by raising) — recovery-side code must
+        cope with the resulting partial record.
+        """
+        if not self._specs:
+            return None
+        with self._lock:
+            for spec in self._specs.get(site, ()):
+                if spec.kind != "torn":
+                    continue
+                if self._due(spec, context):
+                    keep = spec.keep_bytes if spec.keep_bytes > 0 else max(1, len(data) // 2)
+                    return data[:min(keep, len(data) - 1)]
+        return None
+
+
+#: The shared always-quiet injector production paths default to.
+NULL_INJECTOR = FaultInjector()
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with full jitter, deterministic per seed.
+
+    ``max_attempts`` counts the first try: ``max_attempts=3`` means one try
+    plus up to two retries.  The sleep before retry *n* (1-based) is uniform
+    on ``[0, min(max_delay, base_delay · 2^(n-1))]`` — full jitter, which
+    decorrelates competing clients far better than equal or proportional
+    jitter — drawn from an RNG keyed by ``(seed, n)`` so a given policy
+    produces one reproducible schedule.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.005
+    max_delay: float = 0.25
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be non-negative")
+
+    def backoff(self, attempt: int) -> float:
+        """Sleep length before retry ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ValueError("attempt is 1-based")
+        cap = min(self.max_delay, self.base_delay * (2.0 ** (attempt - 1)))
+        rng = random.Random(zlib.crc32(f"{self.seed}:{attempt}".encode("utf-8")))
+        return rng.uniform(0.0, cap)

@@ -95,6 +95,11 @@ ERR_OVERLOADED = "overloaded"
 #: A worker did not answer the request within the configured deadline; the
 #: stream keeps flowing instead of hanging on the stuck batch.
 ERR_TIMEOUT = "timeout"
+#: The request failed on a transient fault (injected or infrastructure) and
+#: the server's retry budget ran out — the request itself is fine and may be
+#: resubmitted; WAL appends are idempotent by sequence number, so a retried
+#: write can never double-apply.
+ERR_RETRYABLE = "retryable"
 
 #: Every code a response's ``error.code`` field may carry — the stable,
 #: client-facing contract; messages may be reworded, codes may not.
@@ -108,6 +113,7 @@ ERROR_CODES = (
     ERR_EXECUTION,
     ERR_OVERLOADED,
     ERR_TIMEOUT,
+    ERR_RETRYABLE,
 )
 
 
@@ -346,6 +352,11 @@ class Head:
     #: Wire name of the head (the envelope's ``"head"`` value).
     name: str = ""
 
+    #: Heads answering about the *server* rather than a model (``status``)
+    #: set this; routers then call :meth:`execute_with_router` instead of
+    #: building a micro-batcher.
+    wants_router: bool = False
+
     # -- model binding ------------------------------------------------- #
     def validate_entry(self, entry) -> None:
         """Reject models that cannot answer this head (override to check)."""
@@ -361,6 +372,11 @@ class Head:
 
     def execute(self, batcher: MicroBatcher, requests: Sequence) -> List:
         """Answer a parsed batch through ``batcher``, results in order."""
+        raise NotImplementedError
+
+    def execute_with_router(self, router: "ServingRouter",
+                            requests: Sequence) -> List:
+        """Answer a batch with router context (``wants_router`` heads only)."""
         raise NotImplementedError
 
     def serialize(self, result) -> dict:
@@ -584,6 +600,46 @@ class UpdateHead(Head):
                 f"{stats['requests']} users ({stats['users_resident']} resident)")
 
 
+class StatusHead(Head):
+    """The operational-state head: answer about the server, not a model.
+
+    One request, one payload (an empty mapping — reserved keys may arrive
+    later), one result: the router's :meth:`ServingRouter.status_payload` —
+    per-model store residency, cache and WAL/durability counters, shard
+    health, and (on the concurrent router) inflight depth, degradation
+    level, quarantine and retry state.  Per-code error counts come from the
+    serve loop's summary when one is attached.
+    """
+
+    name = "status"
+    wants_router = True
+
+    def parse(self, payload: dict, defaults: ServeDefaults) -> dict:
+        return require_mapping(payload, self.name)
+
+    def execute(self, batcher: MicroBatcher, requests: Sequence) -> List:
+        raise ProtocolError(
+            ERR_BAD_REQUEST,
+            "the status head reports server state and is only served by the "
+            "streaming endpoints (serve); it has no one-shot batch form",
+        )
+
+    def execute_with_router(self, router: "ServingRouter",
+                            requests: Sequence) -> List[dict]:
+        payload = router.status_payload()
+        return [payload for _ in requests]
+
+    def serialize(self, result: dict) -> dict:
+        return result
+
+    def rows(self, results: Sequence) -> int:
+        return 0  # status answers carry no scored rows
+
+    def describe(self, response: dict) -> str:
+        models = response.get("result", {}).get("models", {})
+        return f"status over {len(models)} models"
+
+
 # --------------------------------------------------------------------------- #
 # Registry of heads
 # --------------------------------------------------------------------------- #
@@ -655,6 +711,7 @@ def default_heads() -> HeadRegistry:
             RankTopKHead(),
             RecommendHead(),
             UpdateHead(),
+            StatusHead(),
         ])
     return _DEFAULT_HEADS
 
@@ -769,6 +826,10 @@ class ServingRouter:
         propagate as-is for the caller's error policy.
         """
         head = self.heads.get(envelope.head)
+        if head.wants_router:
+            requests = self.parse_requests(head, envelope)
+            results = head.execute_with_router(self, requests)
+            return render_response(envelope, head, results), head.rows(results), head
         try:
             _, batcher = self.batcher_for(envelope.model, envelope.head)
         except KeyError as error:
@@ -776,3 +837,47 @@ class ServingRouter:
         requests = self.parse_requests(head, envelope)
         results = head.execute(batcher, requests)
         return render_response(envelope, head, results), head.rows(results), head
+
+    def status_payload(self) -> dict:
+        """The operational-state document the ``status`` head serves.
+
+        Covers every registered model: store residency and cache counters,
+        shard health when the store is sharded, WAL/durability counters
+        when the store is durable, and the retrieval backend's ``n_probe``
+        dial.  The concurrent router extends this with its runtime state;
+        serve loops attach their :class:`~repro.serving.service.ServeSummary`
+        as ``router.summary`` so per-code error counts appear too.
+        """
+        models: Dict[str, dict] = {}
+        for model_name in self.registry.names():
+            entry = self.registry.get(model_name)
+            store = entry.sequence_store
+            stats = store.stats
+            info: Dict[str, Any] = {
+                "users_resident": len(store),
+                "cache": {"hits": stats.hits, "misses": stats.misses,
+                          "evictions": stats.evictions},
+            }
+            shard_report = getattr(store, "shard_report", None)
+            if shard_report is not None:
+                shards = shard_report()
+                if shards is not None:
+                    info["shards"] = shards
+            wal_status = getattr(store, "wal_status", None)
+            if wal_status is not None:
+                info["wal"] = wal_status()
+            if entry.retriever is not None:
+                searcher = getattr(entry.retriever, "searcher", None)
+                info["index"] = {
+                    "backend": type(searcher).__name__,
+                    "n_probe": getattr(searcher, "n_probe", None),
+                }
+            models[model_name] = info
+        payload: Dict[str, Any] = {
+            "models": models,
+            "heads": list(self.heads.names()),
+        }
+        summary = getattr(self, "summary", None)
+        if summary is not None:
+            payload["stream"] = summary.counts()
+        return payload

@@ -304,6 +304,40 @@ class ModelRegistry:
         return self.attach_index(name, index, backend=backend,
                                  n_retrieve=n_retrieve, **backend_options)
 
+    def enable_durability(
+        self,
+        name: str,
+        directory: PathLike,
+        fsync_every: int = 256,
+        log_reads: bool = True,
+        injector=None,
+    ):
+        """Swap ``name``'s sequence store for a WAL-backed durable one.
+
+        Builds a :class:`~repro.serving.durability.DurableSequenceStore` in
+        ``directory`` — recovering any prior snapshot + write-ahead log it
+        finds there — with this registry's cache geometry (capacity, TTL,
+        shards), and installs it as the model's store.  All serving paths
+        (heads, batchers, the concurrent runtime) pick it up transparently;
+        returns the durable store so callers can ``checkpoint()``/``close()``
+        it at shutdown.
+        """
+        from repro.serving.durability import DurableSequenceStore
+
+        entry = self.get(name)
+        durable = DurableSequenceStore(
+            directory,
+            entry.model.config.max_seq_len,
+            capacity=self.cache_capacity,
+            ttl=self.cache_ttl,
+            shards=self.cache_shards,
+            fsync_every=fsync_every,
+            log_reads=log_reads,
+            injector=injector,
+        )
+        entry.sequence_store = durable
+        return durable
+
     def unregister(self, name: str) -> None:
         self._entries.pop(name, None)
 

@@ -281,6 +281,16 @@ class ServeSummary:
             self.errors += 1
             self.error_codes[code] = self.error_codes.get(code, 0) + 1
 
+    def counts(self) -> Dict[str, object]:
+        """A consistent copy of every counter (the ``status`` head's view)."""
+        with self._lock:
+            return {
+                "lines": self.lines,
+                "rows": self.rows,
+                "errors": self.errors,
+                "error_codes": dict(self.error_codes),
+            }
+
     def merge(self, other: "ServeSummary") -> None:
         """Fold a worker-local summary into this one (all counters summed)."""
         if other is self:
@@ -331,9 +341,13 @@ def serve_jsonl(
         defaults=ServeDefaults(k=k, n_retrieve=n_retrieve),
     )
     # Fail fast on an unservable default route (unknown head or model,
-    # recommend without an index) instead of erroring every line.
-    router.batcher_for(name, head)
+    # recommend without an index) instead of erroring every line.  Router
+    # heads (status) have no batcher to probe — heads.get still validates
+    # the name.
+    if not router.heads.get(head).wants_router:
+        router.batcher_for(name, head)
     summary = ServeSummary()
+    router.summary = summary  # the status head reports live stream counters
     for line_number, raw_line in enumerate(input_stream, start=1):
         line = raw_line.strip()
         if not line:

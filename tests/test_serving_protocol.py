@@ -157,7 +157,8 @@ class TestEnvelope:
     def test_error_codes_are_stable(self):
         assert ERROR_CODES == ("bad_json", "bad_envelope", "unsupported_version",
                                "unknown_head", "unknown_model", "bad_request",
-                               "execution_error", "overloaded", "timeout")
+                               "execution_error", "overloaded", "timeout",
+                               "retryable")
 
 
 # --------------------------------------------------------------------------- #
@@ -167,7 +168,7 @@ class TestHeadRegistry:
     def test_default_heads(self):
         names = default_heads().names()
         assert names == ("score", "rank", "classify", "regress", "rank-topk",
-                         "recommend", "update")
+                         "recommend", "update", "status")
 
     def test_unknown_head_has_stable_code(self):
         with pytest.raises(ProtocolError) as excinfo:
