@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := $(CURDIR)/src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint chaos bench bench-train bench-rank bench-retrieve bench-serve bench-concurrency bench-durability docs-check all
+.PHONY: test lint chaos bench bench-train bench-rank bench-retrieve bench-serve bench-concurrency bench-durability bench-online docs-check all
 
 # Tier-1 test suite (the acceptance gate for every PR).
 test:
@@ -68,6 +68,12 @@ bench-concurrency:
 # results/serving_durability.txt).
 bench-durability:
 	$(PYTHON) -m pytest benchmarks/test_serving_durability.py -q
+
+# Online-learning benchmark only: log-to-gradient throughput (WAL tail +
+# example build, events/s floor asserted) and the end-to-end retrain wall
+# time at a 100k-event log (writes results/online_learning.txt).
+bench-online:
+	$(PYTHON) -m pytest benchmarks/test_online_learning.py -q
 
 # Fail if the documented code blocks have drifted from the public API:
 # extracts and executes every ```python fence in the README and the

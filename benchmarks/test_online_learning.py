@@ -1,0 +1,133 @@
+"""Benchmark — the online-learning loop at 100k logged events.
+
+Continuous learning is only viable if tailing the serving journal is cheap
+relative to serving itself.  This benchmark writes a WAL of **100,000 logged
+click events** (25k ``record`` entries × 4 events, the shape
+``DurableSequenceStore`` journals for the update head) and measures the two
+costs an operator budgets for:
+
+1. **log-to-gradient throughput** — :meth:`InteractionLogReader.tail` plus
+   :func:`build_training_examples`: raw events/s from CRC-framed journal
+   bytes to padded, maskable :class:`EncodedExample` rows.  This is the
+   fixed preprocessing tax of every retrain cycle and must clear
+   **20k events/s** (asserted; real hosts do far better) or the tail could
+   not keep up with the durable store's own write path.
+2. **end-to-end retrain wall time** — one full ``retrain_once`` cycle over
+   the same log: tail → convert → warm-start → fused-negative incremental
+   epoch → eval gate → versioned checkpoint + hot-swap + index rebuild.
+   The trainer caps at the **newest 2,000 examples** (the documented
+   ``max_examples`` knob — a retrain consumes the fresh tail, not the full
+   archive), so the wall time reported is the steady-state promotion bill,
+   dominated by the two gate evaluations.
+
+The cycle must end **promoted** (generous tolerance — this measures cost,
+not model quality) with the cursor parked at the final sequence number.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.conftest import export_text
+from repro.core.model import SeqFM
+from repro.core.tasks import make_task_model
+from repro.core.trainer import Trainer
+from repro.experiments.registry import build_context
+from repro.online import (
+    GateConfig,
+    IncrementalTrainerConfig,
+    InteractionLogReader,
+    build_training_examples,
+    retrain_once,
+)
+from repro.serving import ModelRegistry
+from repro.serving.durability import WAL_NAME, WriteAheadLog
+
+NUM_RECORDS = 25_000
+EVENTS_PER_RECORD = 4          # NUM_RECORDS * EVENTS_PER_RECORD = 100k events
+MAX_EXAMPLES = 2_000           # newest-first trainer cap (steady-state cycle)
+GATE_USERS = 30                # held-out users scored per gate side
+MIN_EVENTS_PER_SECOND = 20_000.0
+
+
+def test_log_to_gradient_and_retrain_wall_time(tmp_path):
+    context = build_context("gowalla", "quick")
+    encoder = context.encoder
+    users = [int(user) for user in encoder.known_users()]
+    vocab = encoder.dynamic_vocab_size
+
+    # -- the logged-click archive ---------------------------------------- #
+    wal_path = tmp_path / WAL_NAME
+    wal = WriteAheadLog(wal_path)
+    for index in range(NUM_RECORDS):
+        events = [1 + (index * EVENTS_PER_RECORD + step) % (vocab - 1)
+                  for step in range(EVENTS_PER_RECORD)]
+        wal.append({"op": "record", "user": users[index % len(users)],
+                    "fp": [0], "stamp": float(index), "events": events})
+    wal.sync()
+    wal.close()
+    total_events = NUM_RECORDS * EVENTS_PER_RECORD
+
+    # -- 1. log-to-gradient: tail + convert ------------------------------ #
+    reader = InteractionLogReader(wal_path,
+                                  cursor_path=tmp_path / "probe-cursor.json")
+    started = time.perf_counter()
+    tail = reader.tail()
+    build = build_training_examples(tail.interactions, encoder)
+    convert_seconds = time.perf_counter() - started
+    assert tail.events_total == total_events
+    assert len(build.examples) == total_events
+    events_per_second = total_events / convert_seconds
+    assert events_per_second > MIN_EVENTS_PER_SECOND, (
+        f"log-to-gradient {events_per_second:,.0f} events/s is below the "
+        f"{MIN_EVENTS_PER_SECOND:,.0f} floor")
+
+    # -- 2. end-to-end retrain cycle -------------------------------------- #
+    model = SeqFM(context.seqfm_config())
+    Trainer(make_task_model(model, context.task), encoder,
+            sampler=context.sampler,
+            config=context.trainer_config(epochs=1)).fit(
+                context.train_examples)
+    registry = ModelRegistry()
+    registry.register("m", model)
+    registry.build_index("m", range(encoder.num_users,
+                                    encoder.num_users + encoder.num_objects))
+
+    started = time.perf_counter()
+    report = retrain_once(
+        registry, "m", wal_path=wal_path, online_dir=tmp_path / "online",
+        encoder=encoder, log=context.log, split=context.split,
+        task=context.task,
+        gate_config=GateConfig(tolerance=5.0, max_users=GATE_USERS),
+        trainer_config=IncrementalTrainerConfig(
+            epochs=1, max_examples=MAX_EXAMPLES))
+    retrain_seconds = time.perf_counter() - started
+    assert report.status == "promoted"
+    assert report.events == total_events
+    assert report.examples == MAX_EXAMPLES
+    assert report.examples_capped == total_events - MAX_EXAMPLES
+    assert report.end_seq == NUM_RECORDS
+
+    lines = [
+        "online learning — tail/convert throughput and retrain wall time",
+        "=" * 66,
+        f"logged events        {total_events:>12,}   "
+        f"({NUM_RECORDS:,} records x {EVENTS_PER_RECORD})",
+        "",
+        "log-to-gradient (tail + example build)",
+        f"  wall time          {convert_seconds:>12.3f} s",
+        f"  throughput         {events_per_second:>12,.0f} events/s   "
+        f"(floor {MIN_EVENTS_PER_SECOND:,.0f})",
+        "",
+        f"end-to-end retrain (max_examples={MAX_EXAMPLES:,}, "
+        f"gate max_users={GATE_USERS})",
+        f"  wall time          {retrain_seconds:>12.3f} s",
+        f"  gradient step      {report.train_seconds:>12.3f} s   "
+        f"({report.examples:,} newest examples, "
+        f"{report.examples_capped:,} capped)",
+        f"  outcome            {report.status:>12}   "
+        f"tag={report.tag} cursor seq {report.start_seq} -> {report.end_seq}",
+    ]
+    text = "\n".join(lines)
+    print("\n" + text)
+    export_text("online_learning", text)

@@ -108,6 +108,13 @@ DEFAULT_SHARED_STATE: Dict[str, Dict[str, Dict[str, str]]] = {
             "_specs": "_lock",
         },
     },
+    "repro/online/log_reader.py": {
+        "InteractionLogReader": {
+            # The persisted cursor: read by tail(), advanced by the promotion
+            # pipeline — possibly from another thread than the serve loop.
+            "_cursor": "_lock",
+        },
+    },
 }
 
 

@@ -31,6 +31,15 @@ name a member of it — an op outside the vocabulary would be written to disk
 today and rejected by ``apply_journal`` at recovery, i.e. a crash that only
 manifests after the crash it was meant to survive.
 
+The online-learning layer (:mod:`repro.online`) carries the same pattern for
+its declared status vocabularies: every literal ``status=`` at a
+``ModelVersion(...)`` construction site must be a member of
+``MANIFEST_STATUSES`` (:mod:`repro.online.promotion` — ``record()`` rejects
+anything else at runtime, but only on the code path that runs), and every
+literal ``status=`` at a ``RetrainReport(...)`` site must be a member of
+``RETRAIN_STATUSES`` (:mod:`repro.online.retrain`), so a new retrain outcome
+or manifest state cannot ship without being declared.
+
 The rule needs the protocol module, the head definitions and the CLI in one
 view, so it runs as a project rule; when the analyzed path set does not
 include the protocol module (fixture runs, single-file invocations) it
@@ -59,6 +68,14 @@ JOURNAL_EMITTERS = ("_journal_op", "_journal_put", "_journal_topology")
 #: Variables in the CLI module whose string contents are serving routes.
 ROUTE_VARIABLES = ("head_choices",)
 ROUTE_DICTS = ("COMMAND_HEADS",)
+
+#: Declared status vocabularies of the online-learning layer: for each,
+#: (module that declares the tuple, tuple name, constructor names whose
+#: literal ``status=`` keyword must be a member).
+STATUS_VOCABULARIES = (
+    ("repro/online/promotion.py", "MANIFEST_STATUSES", ("ModelVersion",)),
+    ("repro/online/retrain.py", "RETRAIN_STATUSES", ("RetrainReport",)),
+)
 
 
 class _HeadClass:
@@ -97,6 +114,7 @@ class ProtocolCompletenessRule(Rule):
         self._check_error_codes(project, protocol, findings)
         self._check_cli_routes(project, registered, findings)
         self._check_wal_ops(project, findings)
+        self._check_status_vocabularies(project, findings)
         return findings
 
     # ------------------------------------------------------------------ #
@@ -339,3 +357,46 @@ class ProtocolCompletenessRule(Rule):
                                 "which is not in WAL_OPS "
                                 f"({self.durability_module}); recovery would "
                                 "reject the record"))
+
+    # ------------------------------------------------------------------ #
+    # Online-learning status vocabularies
+    # ------------------------------------------------------------------ #
+    def _check_status_vocabularies(self, project: Project,
+                                   findings: List[Finding]) -> None:
+        """Every literal ``status=`` at a declared constructor is a member
+        of its module's status tuple (manifest / retrain vocabularies)."""
+        for module_path, tuple_name, constructors in STATUS_VOCABULARIES:
+            declaring = project.find(module_path)
+            if declaring is None:
+                continue
+            vocabulary: Set[str] = set()
+            for node in declaring.tree.body:
+                if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                        and isinstance(node.targets[0], ast.Name) \
+                        and node.targets[0].id == tuple_name \
+                        and isinstance(node.value, (ast.Tuple, ast.List)):
+                    vocabulary.update(self._string_constants(node.value))
+            if not vocabulary:
+                continue
+            for module in project.modules:
+                for node in ast.walk(module.tree):
+                    if not isinstance(node, ast.Call):
+                        continue
+                    func = node.func
+                    callee = func.id if isinstance(func, ast.Name) else (
+                        func.attr if isinstance(func, ast.Attribute) else None)
+                    if callee not in constructors:
+                        continue
+                    for keyword in node.keywords:
+                        if keyword.arg != "status":
+                            continue
+                        value = keyword.value
+                        if isinstance(value, ast.Constant) \
+                                and isinstance(value.value, str) \
+                                and value.value not in vocabulary:
+                            findings.append(Finding(
+                                path=module.path, line=node.lineno,
+                                col=node.col_offset + 1, rule=self.rule_id,
+                                message=f"{callee}() uses status "
+                                        f"'{value.value}' which is not in "
+                                        f"{tuple_name} ({module_path})"))

@@ -38,6 +38,17 @@ retrieve → rank pipeline::
         --checkpoint ckpt.npz --item-range 40 90 --output items.npz
     python -m repro.experiments.cli recommend \
         --checkpoint ckpt.npz --index items.npz --requests users.json --k 10
+
+Close the loop (see :mod:`repro.online`): retrain incrementally off the
+write-ahead log a durable serve loop produced — warm-start from the active
+checkpoint, fit only the new log segment, gate on held-out metrics and
+promote a versioned ``model@vN`` checkpoint (or audit the rejection)::
+
+    python -m repro.experiments.cli retrain \
+        --dataset gowalla --checkpoint ckpt.npz --wal state/
+    python -m repro.experiments.cli retrain \
+        --dataset gowalla --checkpoint ckpt.npz --wal state/ --dry-run
+    python -m repro.experiments.cli status --wal state/
 """
 
 from __future__ import annotations
@@ -76,6 +87,9 @@ BUILD_INDEX_COMMAND = "build-index"
 #: Offline durability inspection subcommand (snapshot + WAL state on disk).
 STATUS_COMMAND = "status"
 
+#: Online-learning subcommand: one incremental, eval-gated retrain cycle.
+RETRAIN_COMMAND = "retrain"
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -83,7 +97,7 @@ def build_parser() -> argparse.ArgumentParser:
         description="Regenerate the tables and figures of the SeqFM paper (ICDE 2020).",
         epilog="Training/serving subcommands (separate option sets): "
                "'train', 'serve', 'predict-batch', 'rank-topk', 'recommend', "
-               "'build-index' and 'status' — run e.g. "
+               "'build-index', 'status' and 'retrain' — run e.g. "
                "'python -m repro.experiments.cli train --help'.",
     )
     parser.add_argument("experiment", choices=EXPERIMENTS + ("all",),
@@ -249,6 +263,17 @@ def run_train(argv: List[str]) -> int:
     result = train_model(context, task_model, trainer_config)
     print(f"stopped after {result.epochs_run} epochs ({result.stop_reason}); "
           f"final loss {result.final_loss:.5f} in {result.train_seconds:.1f}s")
+
+    # Final held-out metrics — the same protocol (and seeding) the retrain
+    # gate scores with, so this block is directly comparable to later
+    # 'retrain' gate output.
+    from repro.online.gate import EvalGate
+
+    metrics = EvalGate(context.encoder, context.log, context.split,
+                       context.task).score(task_model)
+    print("== held-out metrics ==")
+    print(json.dumps({key: float(value) for key, value in metrics.items()},
+                     indent=2, sort_keys=True))
 
     save_seqfm(task_model.scorer, args.checkpoint)
     print(f"wrote {args.checkpoint}")
@@ -446,6 +471,19 @@ def run_serving(command: str, argv: List[str]) -> int:
               f"replayed {recovery.replayed} WAL records"
               f"{', healed torn tail' if recovery.torn_tail else ''})",
               file=sys.stderr)
+        # A retrain manifest next to the WAL means this model has an online
+        # version lineage — attach it so the live 'status' head serves the
+        # retrain block (active tag, promoted/rejected counts, cursor).
+        from repro.online.promotion import MANIFEST_NAME, ModelLineage
+
+        online_dir = args.wal / "online"
+        if (online_dir / MANIFEST_NAME).exists():
+            lineage = ModelLineage(online_dir)
+            registry.get("default").lineage = lineage
+            active = lineage.active
+            print(f"lineage: {online_dir} (active "
+                  f"{lineage.tag(active.version) if active else 'none'}, "
+                  f"{len(lineage)} versions)", file=sys.stderr)
     head = COMMAND_HEADS.get(command, getattr(args, "head", "score"))
 
     def store_summary() -> str:
@@ -602,6 +640,10 @@ def build_status_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--wal", type=Path, required=True,
                         help="durability directory written by 'serve --wal'")
+    parser.add_argument("--online", type=Path, default=None,
+                        help="online-state directory (cursor + version "
+                             "manifest) to include in the report "
+                             "(default: <wal>/online when it exists)")
     parser.add_argument("--output", type=Path, default=None,
                         help="write the report as JSON (default: stdout)")
     return parser
@@ -620,6 +662,15 @@ def run_status(argv: List[str]) -> int:
     except (WALCorruptionError, ValueError, OSError) as error:
         print(f"error: cannot inspect {args.wal}: {error}", file=sys.stderr)
         return 2
+    online_dir = args.online if args.online is not None else args.wal / "online"
+    if online_dir.is_dir():
+        from repro.online import inspect_online
+
+        try:
+            report["online"] = inspect_online(online_dir)
+        except (ValueError, OSError) as error:
+            print(f"error: cannot inspect {online_dir}: {error}", file=sys.stderr)
+            return 2
     rendered = json.dumps(report, indent=2, sort_keys=True)
     if args.output:
         args.output.parent.mkdir(parents=True, exist_ok=True)
@@ -630,6 +681,170 @@ def run_status(argv: List[str]) -> int:
     return 0
 
 
+def build_retrain_parser() -> argparse.ArgumentParser:
+    """Parser for the ``retrain`` subcommand."""
+    from repro.experiments.registry import SCALES, dataset_names
+
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments retrain",
+        description="Incrementally retrain a served checkpoint off its "
+                    "write-ahead log: tail new 'record' events from the "
+                    "persisted cursor, warm-start from the active checkpoint, "
+                    "gate on held-out metrics and promote a versioned "
+                    "model@vN checkpoint (see repro.online).",
+    )
+    parser.add_argument("--dataset", required=True, choices=dataset_names(),
+                        help="registered dataset the model was trained on "
+                             "(rebuilds the same encoder/split/gate slice)")
+    parser.add_argument("--scale", default="quick", choices=sorted(SCALES),
+                        help="dataset scale used at training time (default: quick)")
+    parser.add_argument("--checkpoint", type=Path, required=True,
+                        help="seed SeqFM checkpoint from 'train'; once a "
+                             "version has been promoted, the lineage's active "
+                             "model@vN checkpoint is warm-started instead")
+    parser.add_argument("--wal", type=Path, required=True,
+                        help="durability directory written by 'serve --wal' "
+                             "(its wal.jsonl is the interaction log)")
+    parser.add_argument("--online", type=Path, default=None,
+                        help="online-state directory for the cursor, the "
+                             "version manifest and model@vN checkpoints "
+                             "(default: <wal>/online)")
+    parser.add_argument("--index", type=Path, default=None,
+                        help="ItemIndex archive from 'build-index'; attached "
+                             "before retraining and re-written from the new "
+                             "weights after a promotion")
+    parser.add_argument("--dry-run", action="store_true",
+                        help="run the full tail/train/gate cycle and print the "
+                             "verdict, but mutate nothing (no checkpoint, no "
+                             "registry swap, no cursor advance, no manifest)")
+    parser.add_argument("--gate-tolerance", type=float, default=0.02,
+                        help="largest held-out regression a gated metric may "
+                             "show and still promote (default: 0.02; negative "
+                             "demands improvement)")
+    parser.add_argument("--since-cursor", type=int, default=None, metavar="SEQ",
+                        help="re-read the log from this WAL sequence instead "
+                             "of the persisted cursor (the cursor still only "
+                             "moves forward)")
+    parser.add_argument("--epochs", type=int, default=2,
+                        help="incremental epochs over the tail (default: 2)")
+    parser.add_argument("--batch-size", type=int, default=64,
+                        help="incremental mini-batch size (default: 64)")
+    parser.add_argument("--learning-rate", type=float, default=5e-3,
+                        help="incremental Adam learning rate (default: 5e-3)")
+    parser.add_argument("--negatives", type=int, default=2,
+                        help="negatives per logged positive (default: 2)")
+    parser.add_argument("--max-examples", type=int, default=None,
+                        help="cap the tail to its newest N examples "
+                             "(bounds a retrain after a traffic spike; the "
+                             "cap is reported in the retrain report)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="incremental training seed (default: 0)")
+    parser.add_argument("--output", type=Path, default=None,
+                        help="also write the retrain report as JSON")
+    return parser
+
+
+def run_retrain(argv: List[str]) -> int:
+    """Run one eval-gated incremental retrain cycle; returns an exit code."""
+    from repro.experiments.registry import build_context
+    from repro.online import (
+        GateConfig,
+        IncrementalTrainerConfig,
+        ModelLineage,
+        retrain_once,
+    )
+    from repro.serving import ModelRegistry
+    from repro.serving.durability import WAL_NAME, WALCorruptionError
+
+    args = build_retrain_parser().parse_args(argv)
+    if not args.checkpoint.exists():
+        print(f"error: checkpoint not found: {args.checkpoint}", file=sys.stderr)
+        return 2
+    if not args.wal.is_dir():
+        print(f"error: durability directory not found: {args.wal}", file=sys.stderr)
+        return 2
+    online_dir = args.online if args.online is not None else args.wal / "online"
+
+    context = build_context(args.dataset, scale=args.scale)
+    if context.task == "regression":
+        print("error: no online training path for regression datasets (the "
+              "interaction log carries click events)", file=sys.stderr)
+        return 2
+
+    # Warm-start preference: the lineage's active promoted checkpoint, the
+    # seed checkpoint otherwise — so successive retrains stack instead of
+    # repeatedly fine-tuning the original weights.
+    lineage = ModelLineage(online_dir, name="default")
+    warm_start = args.checkpoint
+    active = lineage.active
+    if active is not None and active.checkpoint is not None:
+        candidate_path = lineage.directory / active.checkpoint
+        if candidate_path.exists():
+            warm_start = candidate_path
+            print(f"warm-starting from promoted {lineage.tag(active.version)} "
+                  f"({candidate_path})", file=sys.stderr)
+
+    registry = ModelRegistry()
+    try:
+        registry.load("default", warm_start)
+    except (ValueError, KeyError, OSError, zipfile.BadZipFile) as error:
+        print(f"error: cannot load {warm_start}: {error}", file=sys.stderr)
+        return 2
+    if args.index is not None:
+        try:
+            registry.load_index("default", args.index)
+        except (ValueError, KeyError, OSError, TypeError,
+                zipfile.BadZipFile) as error:
+            print(f"error: cannot load index {args.index}: {error}",
+                  file=sys.stderr)
+            return 2
+
+    try:
+        report = retrain_once(
+            registry, "default",
+            wal_path=args.wal / WAL_NAME,
+            online_dir=online_dir,
+            encoder=context.encoder,
+            log=context.log,
+            split=context.split,
+            task=context.task,
+            gate_config=GateConfig(tolerance=args.gate_tolerance),
+            trainer_config=IncrementalTrainerConfig(
+                epochs=args.epochs,
+                batch_size=args.batch_size,
+                learning_rate=args.learning_rate,
+                negatives_per_positive=args.negatives,
+                max_examples=args.max_examples,
+                seed=args.seed,
+            ),
+            dry_run=args.dry_run,
+            since_seq=args.since_cursor,
+        )
+    except (WALCorruptionError, ValueError, KeyError, OSError) as error:
+        print(f"error: retrain failed: {error}", file=sys.stderr)
+        return 2
+
+    if report.status == "promoted" and args.index is not None:
+        # The promotion rebuilt the in-memory index from the new weights;
+        # persist it so the next serve loop retrieves against them too.
+        registry.save_index("default", args.index)
+        print(f"rewrote {args.index} from {report.tag}", file=sys.stderr)
+
+    rendered = json.dumps(report.as_dict(), indent=2, sort_keys=True)
+    print("== retrain report ==")
+    print(rendered)
+    if args.output:
+        args.output.parent.mkdir(parents=True, exist_ok=True)
+        args.output.write_text(rendered + "\n")
+        print(f"wrote {args.output}", file=sys.stderr)
+    print(f"retrain: {report.status} (events={report.events}, "
+          f"examples={report.examples}, seq {report.start_seq} -> "
+          f"{report.end_seq})", file=sys.stderr)
+    # A rejected candidate is a refused promotion, not a crash: exit 2 so
+    # operators and CI can branch on it; dry runs and no-ops are clean exits.
+    return 2 if report.status == "rejected" else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv and argv[0] == TRAIN_COMMAND:
@@ -638,6 +853,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return run_build_index(argv[1:])
     if argv and argv[0] == STATUS_COMMAND:
         return run_status(argv[1:])
+    if argv and argv[0] == RETRAIN_COMMAND:
+        return run_retrain(argv[1:])
     if argv and argv[0] in SERVING_COMMANDS:
         return run_serving(argv[0], argv[1:])
     args = build_parser().parse_args(argv)

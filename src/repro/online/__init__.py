@@ -1,0 +1,83 @@
+"""repro.online — continuous learning off the serving write-ahead log.
+
+The online loop closes the feedback cycle the serving stack opens: the
+``update`` head journals every click into the WAL
+(:mod:`repro.serving.durability`), and this package turns that log back into
+model weights —
+
+* :mod:`~repro.online.log_reader` tails ``record`` entries from a durable,
+  atomically-checkpointed cursor and converts them into training examples;
+* :mod:`~repro.online.trainer` warm-starts a candidate from the serving
+  weights and fits only the new segment (fused negative sampling, same
+  trainer as offline);
+* :mod:`~repro.online.gate` scores baseline vs candidate on the held-out
+  split and vetoes regressions beyond a tolerance;
+* :mod:`~repro.online.promotion` versions the survivors (``model@vN``
+  manifest lineage), hot-swaps the registry and rebuilds the item index;
+* :mod:`~repro.online.retrain` wires the above into one idempotent
+  ``retrain_once`` cycle (the CLI ``retrain`` command).
+"""
+
+from repro.online.gate import (
+    LOWER_IS_BETTER,
+    EvalGate,
+    GateConfig,
+    GateVerdict,
+)
+from repro.online.log_reader import (
+    CURSOR_NAME,
+    ExampleBuild,
+    InteractionLogReader,
+    LogCursor,
+    LogTail,
+    LoggedInteraction,
+    base_histories_from_split,
+    build_training_examples,
+)
+from repro.online.promotion import (
+    MANIFEST_NAME,
+    MANIFEST_STATUSES,
+    ModelLineage,
+    ModelVersion,
+    PromotionPipeline,
+)
+from repro.online.retrain import (
+    RETRAIN_STATUSES,
+    RetrainReport,
+    inspect_online,
+    retrain_once,
+)
+from repro.online.trainer import (
+    IncrementalResult,
+    IncrementalTrainer,
+    IncrementalTrainerConfig,
+    mark_tail_seen,
+)
+
+__all__ = [
+    "LOWER_IS_BETTER",
+    "EvalGate",
+    "GateConfig",
+    "GateVerdict",
+    "CURSOR_NAME",
+    "ExampleBuild",
+    "InteractionLogReader",
+    "LogCursor",
+    "LogTail",
+    "LoggedInteraction",
+    "base_histories_from_split",
+    "build_training_examples",
+    "MANIFEST_NAME",
+    "MANIFEST_STATUSES",
+    "ModelLineage",
+    "ModelVersion",
+    "PromotionPipeline",
+    "RETRAIN_STATUSES",
+    "RetrainReport",
+    "inspect_online",
+    "retrain_once",
+    "IncrementalResult",
+    "IncrementalTrainer",
+    "IncrementalTrainerConfig",
+    "mark_tail_seen",
+]

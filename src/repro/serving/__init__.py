@@ -150,7 +150,11 @@ from repro.serving.protocol import (
     error_response,
     parse_envelope,
 )
-from repro.serving.registry import ModelRegistry, RegisteredModel
+from repro.serving.registry import (
+    ModelRegistry,
+    OrphanedIndexWarning,
+    RegisteredModel,
+)
 from repro.serving.service import (
     ServeSummary,
     execute_batch,
@@ -183,6 +187,7 @@ __all__ = [
     "LRUCache",
     "MicroBatcher",
     "ModelRegistry",
+    "OrphanedIndexWarning",
     "NULL_INJECTOR",
     "PROTOCOL_VERSION",
     "PendingScore",

@@ -75,6 +75,12 @@ WAL_OPS = (
 
 _SNAPSHOT_NAME = "snapshot.json"
 _WAL_NAME = "wal.jsonl"
+#: Public name of the WAL file inside a durability directory — what the
+#: online interaction-log reader (:mod:`repro.online.log_reader`) tails.
+WAL_NAME = _WAL_NAME
+#: Public name of the checkpoint snapshot next to it — its ``seq`` tells the
+#: reader how far compaction reached when no journal records survive.
+SNAPSHOT_NAME = _SNAPSHOT_NAME
 _SNAPSHOT_FORMAT = 1
 
 
@@ -120,20 +126,65 @@ class WALScan:
     torn: bool
     #: Byte length of the valid prefix (the truncation point for healing).
     valid_bytes: int
+    #: Records validated but excluded because their ``seq`` was at or below
+    #: the ``since_seq`` cursor (0 on a cursor-less scan).
+    skipped: int = 0
+    #: Whether the ``start_offset`` fast path was taken (the cursor anchored
+    #: cleanly and only the tail past it was read).
+    seeked: bool = False
 
 
-def read_wal(path: PathLike) -> WALScan:
+def _cursor_anchored(data: bytes, since_seq: int, offset: int) -> bool:
+    """Whether byte ``offset`` is exactly the end of the record ``since_seq``.
+
+    The soundness condition of the tailing fast path: seqs are unique and
+    ascending within a log file, so if the framed record ending at ``offset``
+    decodes to sequence ``since_seq``, then everything before it is already
+    consumed and everything after it is exactly the unconsumed tail — even if
+    the log was compacted since the cursor was written, as long as that
+    record survived in place.  Any other situation (offset past EOF, offset
+    mid-record after a compaction shifted bytes, a different record ending
+    there) fails the check and the caller falls back to a full scan.
+    """
+    if offset < 1 or offset > len(data) or data[offset - 1:offset] != b"\n":
+        return False
+    line_start = data.rfind(b"\n", 0, offset - 1) + 1
+    try:
+        record = _decode_line(data[line_start:offset])
+        return int(record["seq"]) == since_seq
+    except (ValueError, KeyError, TypeError):
+        return False
+
+
+def read_wal(path: PathLike, since_seq: int = 0,
+             start_offset: int = 0) -> WALScan:
     """Scan a WAL file, validating framing, checksums and seq monotonicity.
 
     A damaged *final* record (torn write at crash time) is reported via
     ``torn`` and excluded; damage anywhere else raises
     :class:`WALCorruptionError`.
+
+    ``since_seq``/``start_offset`` are the tailing cursor of the online
+    retrain loop (:mod:`repro.online`): records with ``seq <= since_seq``
+    are validated but excluded from ``records`` (counted in ``skipped``),
+    and when ``start_offset`` is the verified end of record ``since_seq``
+    (see :func:`_cursor_anchored`) the scan seeks straight there instead of
+    re-reading the whole log.  A stale offset — the log was compacted and
+    the anchor record moved or vanished — silently falls back to a full
+    scan, so a cursor taken at a compaction point is always safe, merely
+    slower.  ``valid_bytes`` stays an absolute file offset either way.
     """
     path = Path(path)
     data = path.read_bytes() if path.exists() else b""
-    records: List[dict] = []
-    last_seq = 0
     offset = 0
+    last_seq = 0
+    seeked = False
+    if start_offset > 0 and _cursor_anchored(data, since_seq, start_offset):
+        offset = start_offset
+        last_seq = since_seq
+        seeked = True
+    records: List[dict] = []
+    skipped = 0
     torn = False
     while offset < len(data):
         newline = data.find(b"\n", offset)
@@ -154,11 +205,14 @@ def read_wal(path: PathLike) -> WALScan:
                 ) from None
             torn = True
             break
-        records.append(record)
+        if seq <= since_seq:
+            skipped += 1
+        else:
+            records.append(record)
         last_seq = seq
         offset = newline + 1
     return WALScan(records=records, last_seq=last_seq, torn=torn,
-                   valid_bytes=offset)
+                   valid_bytes=offset, skipped=skipped, seeked=seeked)
 
 
 def _any_valid_record(data: bytes, offset: int) -> bool:

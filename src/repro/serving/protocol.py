@@ -843,8 +843,11 @@ class ServingRouter:
 
         Covers every registered model: store residency and cache counters,
         shard health when the store is sharded, WAL/durability counters
-        when the store is durable, and the retrieval backend's ``n_probe``
-        dial.  The concurrent router extends this with its runtime state;
+        when the store is durable, the retrieval backend's ``n_probe``
+        dial, and — once the online promotion pipeline has attached a
+        :class:`~repro.online.promotion.ModelLineage` — a ``retrain`` block
+        with the version lineage (active tag, promoted/rejected counts,
+        consumed cursor).  The concurrent router extends this with its runtime state;
         serve loops attach their :class:`~repro.serving.service.ServeSummary`
         as ``router.summary`` so per-code error counts appear too.
         """
@@ -872,6 +875,9 @@ class ServingRouter:
                     "backend": type(searcher).__name__,
                     "n_probe": getattr(searcher, "n_probe", None),
                 }
+            lineage = getattr(entry, "lineage", None)
+            if lineage is not None:
+                info["retrain"] = lineage.status_payload()
             models[model_name] = info
         payload: Dict[str, Any] = {
             "models": models,

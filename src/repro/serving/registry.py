@@ -29,7 +29,8 @@ Registering or architecture-replacing over an existing name requires
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import warnings
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Union
 
@@ -49,11 +50,24 @@ from repro.serving.cache import ShardedUserSequenceStore, UserSequenceStore
 from repro.serving.engine import InferenceEngine
 
 if TYPE_CHECKING:  # pragma: no cover — import cycle: retrieval imports the engine
+    from repro.online.promotion import ModelLineage
     from repro.retrieval.index import ItemIndex
     from repro.retrieval.pipeline import RetrievePipeline
     from repro.serving.protocol import HeadRegistry
 
 PathLike = Union[str, Path]
+
+
+class OrphanedIndexWarning(UserWarning):
+    """A same-config hot-swap dropped the model's attached item index.
+
+    The index is a *snapshot* of the old weights, so serving it against the
+    new ones would silently degrade retrieval quality; the registry drops it
+    instead and emits this structured warning.  The promotion path avoids
+    the orphaning entirely by passing ``rebuild_index=True`` to
+    :meth:`ModelRegistry.load` (or calling
+    :meth:`ModelRegistry.rebuild_index` afterwards).
+    """
 
 
 @dataclass
@@ -71,6 +85,14 @@ class RegisteredModel:
     index: Optional[ItemIndex] = None
     #: The retrieve → rank pipeline over :attr:`index` (backend-specific).
     retriever: Optional[RetrievePipeline] = None
+    #: How :attr:`index` was attached (backend, fan-out, backend options,
+    #: build seed) — enough for :meth:`ModelRegistry.rebuild_index` to
+    #: re-snapshot the same catalog from the current weights.
+    index_spec: Optional[dict] = field(default=None, repr=False)
+    #: Version lineage attached by the online promotion pipeline
+    #: (:class:`repro.online.promotion.ModelLineage`); surfaced by the
+    #: ``status`` head as the ``retrain`` block.
+    lineage: Optional[ModelLineage] = field(default=None, repr=False)
 
     def batcher(self, max_batch_size: int = 256, head: str = "score",
                 heads: Optional["HeadRegistry"] = None) -> MicroBatcher:
@@ -174,16 +196,20 @@ class ModelRegistry:
         self._entries[name] = entry
         return entry
 
-    def load(self, name: str, path: PathLike, overwrite: bool = False) -> RegisteredModel:
+    def load(self, name: str, path: PathLike, overwrite: bool = False,
+             rebuild_index: bool = False) -> RegisteredModel:
         """Load a self-describing SeqFM checkpoint and register it.
 
         Loading into an existing name whose model has the **same
         architecture** hot-swaps the weights in place — the engine and caches
         survive; that is the documented reload path and needs no flag.  An
-        attached item index snapshots the *old* weights, so it is dropped on
-        hot-swap; rebuild it with :meth:`build_index`.  Loading a checkpoint
-        with a **different architecture** over an existing name replaces the
-        whole entry and requires ``overwrite=True``.
+        attached item index snapshots the *old* weights, so a hot-swap either
+        rebuilds it from the new weights in the same step
+        (``rebuild_index=True``, the promotion path) or drops it and emits an
+        :class:`OrphanedIndexWarning` — silent degradation is never an
+        option.  Loading a checkpoint with a **different architecture** over
+        an existing name replaces the whole entry and requires
+        ``overwrite=True``.
         """
         path = Path(path)
         fresh = load_seqfm(path)
@@ -191,8 +217,18 @@ class ModelRegistry:
         if existing is not None and existing.model.config == fresh.config:
             existing.model.load_state_dict(fresh.state_dict())
             existing.source = path
-            existing.index = None
-            existing.retriever = None
+            if existing.index is not None:
+                if rebuild_index:
+                    self.rebuild_index(name)
+                else:
+                    existing.index = None
+                    existing.retriever = None
+                    warnings.warn(OrphanedIndexWarning(
+                        f"hot-swapping {name!r} from {path} dropped its "
+                        "attached item index (the index snapshots the old "
+                        "weights); pass rebuild_index=True or call "
+                        "ModelRegistry.rebuild_index() to re-snapshot it"
+                    ), stacklevel=2)
             return existing
         if existing is not None and not overwrite:
             raise ValueError(
@@ -241,8 +277,10 @@ class ModelRegistry:
             entry.model, item_ids, num_probes=num_probes, seed=seed,
             n_partitions=n_partitions,
         )
-        return self.attach_index(name, index, backend=backend,
-                                 n_retrieve=n_retrieve, **backend_options)
+        attached = self.attach_index(name, index, backend=backend,
+                                     n_retrieve=n_retrieve, **backend_options)
+        entry.index_spec["seed"] = seed
+        return attached
 
     def attach_index(
         self,
@@ -264,9 +302,45 @@ class ModelRegistry:
         else:
             raise ValueError(f"unknown index backend {backend!r}; expected exact/ivf")
         pipeline_options = {} if n_retrieve is None else {"n_retrieve": n_retrieve}
+        previous = entry.index_spec or {}
         entry.index = index
         entry.retriever = RetrievePipeline(entry.engine, searcher, **pipeline_options)
+        entry.index_spec = {
+            "backend": backend,
+            "n_retrieve": n_retrieve,
+            "backend_options": dict(backend_options),
+            "seed": previous.get("seed", 0),
+        }
         return index
+
+    def rebuild_index(self, name: str) -> ItemIndex:
+        """Re-snapshot ``name``'s catalog from its *current* weights.
+
+        The promotion-pipeline half of a hot-swap: the attached index keeps
+        the same item ids, probe count, partition count, backend and fan-out
+        (recorded in :attr:`RegisteredModel.index_spec` at attach time), but
+        its vectors are taken from the weights registered *now*.  Raises if
+        no index is attached — there is nothing to rebuild from.
+        """
+        from repro.retrieval.index import ItemIndex
+
+        entry = self.get(name)
+        if entry.index is None:
+            raise ValueError(
+                f"model {name!r} has no item index to rebuild; build one first"
+            )
+        spec = entry.index_spec or {}
+        old = entry.index
+        index = ItemIndex.from_model(
+            entry.model, old.item_ids,
+            num_probes=int(old.probe_positions.shape[0]) or None,
+            seed=spec.get("seed", 0),
+            n_partitions=old.n_partitions or None,
+        )
+        return self.attach_index(name, index,
+                                 backend=spec.get("backend", "exact"),
+                                 n_retrieve=spec.get("n_retrieve"),
+                                 **spec.get("backend_options", {}))
 
     def save_index(self, name: str, path: PathLike) -> Path:
         """Persist a registered model's item index next to its checkpoint."""

@@ -249,6 +249,68 @@ class TestProtocolCompleteness:
         assert report.ok
 
 
+#: Online status-vocabulary fixtures: the rule locates the declaring modules
+#: by suffix, so fixture paths mirror the real repro/online layout.
+ONLINE_PROMOTION_OK = """\
+    MANIFEST_STATUSES = ("promoted", "rejected")
+
+    def record_promotion():
+        return ModelVersion(version=1, status="promoted", checkpoint="m@v1.npz",
+                            cursor_seq=5, parent=0, gate={}, examples=3)
+    """
+
+ONLINE_RETRAIN_OK = """\
+    RETRAIN_STATUSES = ("promoted", "rejected", "no_new_events", "dry_run")
+
+    def report_cycle():
+        return RetrainReport(status="no_new_events", model="m",
+                             start_seq=0, end_seq=0)
+    """
+
+
+class TestStatusVocabularies:
+    FILES = {"proto/protocol.py": PROTOCOL_OK, "proto/cli.py": CLI_OK,
+             "repro/online/promotion.py": ONLINE_PROMOTION_OK,
+             "repro/online/retrain.py": ONLINE_RETRAIN_OK}
+
+    def test_declared_statuses_pass(self, tmp_path):
+        report = run(tmp_path, dict(self.FILES), [PROTO_RULE])
+        assert report.ok
+
+    def test_undeclared_manifest_status_is_flagged(self, tmp_path):
+        files = dict(self.FILES)
+        files["repro/online/promotion.py"] = ONLINE_PROMOTION_OK + """
+    def record_rollback():
+        return ModelVersion(version=2, status="rolled_back", checkpoint=None,
+                            cursor_seq=5, parent=1, gate={}, examples=0)
+    """
+        report = run(tmp_path, files, [PROTO_RULE])
+        assert len(report.findings) == 1
+        assert "'rolled_back'" in report.findings[0].message
+        assert "MANIFEST_STATUSES" in report.findings[0].message
+
+    def test_undeclared_retrain_status_is_flagged_anywhere(self, tmp_path):
+        files = dict(self.FILES)
+        files["repro/online/cli_glue.py"] = """\
+    def weird():
+        return RetrainReport(status="skipped", model="m",
+                             start_seq=0, end_seq=0)
+    """
+        report = run(tmp_path, files, [PROTO_RULE])
+        assert len(report.findings) == 1
+        assert "'skipped'" in report.findings[0].message
+        assert "RETRAIN_STATUSES" in report.findings[0].message
+
+    def test_dynamic_status_is_not_guessed_at(self, tmp_path):
+        files = dict(self.FILES)
+        files["repro/online/retrain.py"] = ONLINE_RETRAIN_OK + """
+    def passthrough(status):
+        return RetrainReport(status=status, model="m", start_seq=0, end_seq=0)
+    """
+        report = run(tmp_path, files, [PROTO_RULE])
+        assert report.ok
+
+
 # --------------------------------------------------------------------------- #
 # numerics-hygiene
 # --------------------------------------------------------------------------- #

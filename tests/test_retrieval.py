@@ -30,6 +30,7 @@ from repro.retrieval import (
 from repro.serving import (
     InferenceEngine,
     ModelRegistry,
+    OrphanedIndexWarning,
     RecommendRequest,
     recommend_batch,
     serve_jsonl,
@@ -631,15 +632,36 @@ class TestRegistryIndex:
         with pytest.raises(ValueError, match="embedding dim"):
             registry.load_index("m", path)
 
-    def test_hot_reload_drops_stale_index(self, model, tmp_path):
+    def test_hot_reload_drops_stale_index_with_warning(self, model, tmp_path):
         registry = ModelRegistry()
         registry.register("m", model)
         registry.save("m", tmp_path / "v1.npz")
         registry.build_index("m", CATALOG)
         assert registry.get("m").index is not None
-        registry.load("m", tmp_path / "v1.npz")  # hot-swap, same architecture
+        with pytest.warns(OrphanedIndexWarning, match="rebuild_index"):
+            registry.load("m", tmp_path / "v1.npz")  # hot-swap, same arch
         assert registry.get("m").index is None
         assert registry.get("m").retriever is None
+
+    def test_hot_reload_rebuild_index_keeps_retrieval(self, model, tmp_path):
+        """The promotion path: rebuild_index=True re-snapshots the catalog
+        from the swapped-in weights instead of orphaning the index."""
+        import warnings
+
+        registry = ModelRegistry()
+        registry.register("m", model)
+        registry.build_index("m", CATALOG, n_retrieve=NUM_ITEMS, seed=3)
+        model.projection.data[...] += 0.25
+        registry.save("m", tmp_path / "v2.npz")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", OrphanedIndexWarning)
+            entry = registry.load("m", tmp_path / "v2.npz", rebuild_index=True)
+        assert entry.index is not None and entry.retriever is not None
+        assert entry.index_spec["seed"] == 3
+        # the rebuilt snapshot reflects the *new* weights
+        rebuilt = entry.index
+        expected = ItemIndex.from_model(entry.model, CATALOG, seed=3)
+        np.testing.assert_allclose(rebuilt.vectors, expected.vectors)
 
 
 class TestRegistryOverwriteGuards:
