@@ -107,11 +107,26 @@ class Project:
     """Every module of one analysis run, for whole-repo rules."""
 
     modules: List[Module] = field(default_factory=list)
+    #: Expensive derived structures (the call graph, the lock graph) built
+    #: once per run and shared by every rule that asks for them.
+    _caches: Dict[str, object] = field(default_factory=dict, repr=False,
+                                       compare=False)
 
     def find(self, suffix: str) -> Optional[Module]:
         """The unique module whose path ends with ``suffix``, if present."""
         matches = [module for module in self.modules if module.matches(suffix)]
         return matches[0] if len(matches) == 1 else None
+
+    def cache(self, key: str, build):
+        """``build(self)`` memoized under ``key`` for this project's lifetime.
+
+        Project rules share derived structures through this: the first rule
+        to ask pays for the build, later rules (and later queries from the
+        same rule) reuse it.
+        """
+        if key not in self._caches:
+            self._caches[key] = build(self)
+        return self._caches[key]
 
 
 class Rule:
@@ -227,18 +242,31 @@ def analyze(
     rules: Sequence[Rule],
     root: Optional[Path] = None,
     baseline: Sequence[str] = (),
+    jobs: int = 1,
 ) -> AnalysisReport:
     """Run ``rules`` over every Python file under ``paths``.
 
     Findings are bucketed into failing / baselined / suppressed and sorted
     by (path, line, col, rule) so two runs over the same tree — any
     platform, any filesystem order — render byte-identical reports.
+
+    ``jobs`` parallelizes the read-and-parse phase only; results are
+    collected in file order, so the report is byte-identical to a serial
+    run at any worker count.  Rules always run serially: they are cheap
+    relative to parsing and several share mutable project-level caches.
     """
     root = root if root is not None else Path.cwd()
     project = Project()
     raw_findings: List[Finding] = []
-    for path in collect_files(paths):
-        module, failure = parse_module(path, root)
+    files = collect_files(paths)
+    if jobs > 1 and len(files) > 1:
+        from concurrent.futures import ThreadPoolExecutor
+        with ThreadPoolExecutor(max_workers=jobs) as pool:
+            parsed = list(pool.map(lambda path: parse_module(path, root),
+                                   files))
+    else:
+        parsed = [parse_module(path, root) for path in files]
+    for module, failure in parsed:
         if failure is not None:
             raw_findings.append(failure)
         if module is not None:

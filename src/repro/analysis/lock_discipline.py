@@ -47,6 +47,31 @@ CONSTRUCTION_METHODS = frozenset({"__init__", "__post_init__", "__new__"})
 #: lock annotation for helpers that are only ever invoked under the lock.
 _LOCKED_COMMENT = re.compile(r"#\s*repro:\s*locked(?:\[([\w, ]+)\])?")
 
+
+def annotated_locks(module: Module,
+                    method: ast.AST) -> Optional[FrozenSet[str]]:
+    """Locks a ``# repro: locked`` annotation asserts the method's callers hold.
+
+    ``None`` means a bare annotation (all locks); an empty set means no
+    annotation at all.  The comment may sit on the ``def`` line, the line
+    above it, or — for decorated methods, whose ``def`` is pushed down —
+    the line above the topmost decorator.
+    """
+    lines = module.source.splitlines()
+    candidates = [method.lineno, method.lineno - 1]
+    decorators = getattr(method, "decorator_list", [])
+    if decorators:
+        candidates.append(decorators[0].lineno - 1)
+    for line_number in candidates:
+        if 1 <= line_number <= len(lines):
+            match = _LOCKED_COMMENT.search(lines[line_number - 1])
+            if match:
+                if match.group(1) is None:
+                    return None
+                return frozenset(part.strip()
+                                 for part in match.group(1).split(","))
+    return frozenset()
+
 #: The repo's shared-state map: module suffix → class → attribute → lock.
 #: Seeded from the concurrency-bearing modules of :mod:`repro.serving`; new
 #: shared attributes (and new modules) are declared here as the runtime grows.
@@ -63,6 +88,7 @@ DEFAULT_SHARED_STATE: Dict[str, Dict[str, Dict[str, str]]] = {
         "ShardedUserSequenceStore": {
             "_shards": "_lock",
             "_ring": "_lock",
+            "_journal": "_lock",
         },
     },
     "repro/serving/concurrent.py": {
@@ -160,21 +186,8 @@ class LockDisciplineRule(Rule):
 
     def _annotated_locks(self, module: Module,
                          method: ast.FunctionDef) -> Optional[FrozenSet[str]]:
-        """Locks the method's ``# repro: locked`` annotation asserts are held.
-
-        ``None`` means a bare annotation (all locks); an empty set means no
-        annotation at all.
-        """
-        lines = module.source.splitlines()
-        for line_number in (method.lineno, method.lineno - 1):
-            if 1 <= line_number <= len(lines):
-                match = _LOCKED_COMMENT.search(lines[line_number - 1])
-                if match:
-                    if match.group(1) is None:
-                        return None
-                    return frozenset(part.strip()
-                                     for part in match.group(1).split(","))
-        return frozenset()
+        """Locks the method's ``# repro: locked`` annotation asserts are held."""
+        return annotated_locks(module, method)
 
     # ------------------------------------------------------------------ #
     # Lexical walk, tracking which 'with self.<lock>:' blocks enclose us

@@ -1,0 +1,766 @@
+"""lock-order / blocking-under-lock / shared-state-drift: the concurrency rules.
+
+The PR 7 ``lock-discipline`` rule checks that declared shared state is only
+touched under its lock — an *intraprocedural* property.  The three rules in
+this module cover what it cannot see:
+
+* :class:`LockOrderRule` (``lock-order``) builds the repo's static
+  lock-acquisition graph by propagating held-lock sets through the call
+  graph (:mod:`repro.analysis.callgraph`): every ``with self._lock:`` block
+  and every ``# repro: locked[...]`` annotation contributes held locks, and
+  each acquisition while other locks are held adds ``held -> acquired``
+  edges.  A cycle in that graph is a potential deadlock; the finding spells
+  out the full acquisition path.  Acquiring a plain (non-reentrant)
+  ``threading.Lock`` that is already held is reported as a self-deadlock.
+* :class:`BlockingUnderLockRule` (``blocking-under-lock``) flags blocking
+  operations — ``fsync``/``fdatasync``, ``time.sleep``, file/socket I/O,
+  ``Future.result()``/``Event.wait()``, thread joins — performed while a
+  lock is held, either directly or through a call whose callee (transitively)
+  blocks.  Latency under a lock is latency for *every* thread behind it.
+* :class:`SharedStateDriftRule` (``shared-state-drift``) keeps the
+  hand-maintained ``DEFAULT_SHARED_STATE`` map honest: an attribute whose
+  every post-construction mutation happens under the same ``self`` lock but
+  which the map does not declare is suggested for declaration; a declared
+  module/class/attribute that no longer exists is reported as stale.
+
+Two escape hatches, both visible in the code under review:
+
+* a ``lock-edge[ClassA._lock - ClassB._lock]`` comment (spelled with the
+  usual ``# repro:`` prefix and an arrow between the two lock names)
+  *declares* an intended acquisition edge the AST cannot see — the idiom
+  for callback
+  indirection (a journal sink invoked under the store lock that appends to
+  the WAL).  Declared edges join the static graph, participate in cycle
+  detection, and legitimize the matching runtime observations
+  (:mod:`repro.analysis.sanitizer` asserts observed ⊆ static).
+* the generic ``# repro: allow[rule-id]`` suppression, for blocking calls
+  that are the point (a WAL exists to fsync under its lock).
+
+Locks are identified as ``ClassName.attr`` (or ``function.var`` for
+function-local locks); only attributes whose name contains ``lock`` are
+treated as locks, so ``with self._file:`` never pollutes the graph.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tuple
+
+from repro.analysis.callgraph import (
+    CallGraph,
+    FunctionInfo,
+    get_callgraph,
+)
+from repro.analysis.core import Finding, Module, Project, Rule, attribute_on, \
+    dotted_name
+from repro.analysis.lock_discipline import (
+    CONSTRUCTION_METHODS,
+    DEFAULT_SHARED_STATE,
+    MUTATING_METHODS,
+    annotated_locks,
+)
+
+#: The declared-acquisition-edge comment (``repro: lock-edge[src -> dst]``).
+_LOCK_EDGE_COMMENT = re.compile(
+    r"#\s*repro:\s*lock-edge\[\s*([\w.]+)\s*->\s*([\w.]+)\s*\]")
+
+#: Dotted call names that block outright.
+_BLOCKING_CALLS = frozenset({
+    "time.sleep", "os.fsync", "os.fdatasync", "select.select", "open",
+})
+
+#: Methods that block regardless of receiver.
+_BLOCKING_METHODS = frozenset({"result", "wait", "fsync", "fdatasync"})
+
+#: Stream-ish method names that block when the receiver looks like I/O.
+_STREAM_METHODS = frozenset({
+    "flush", "write", "read", "readline", "readlines", "recv", "send",
+    "sendall", "connect", "accept",
+})
+
+#: Receiver name fragments that mark a stream/socket receiver.
+_STREAM_RECEIVERS = ("file", "handle", "output", "stream", "sock",
+                     "stdout", "stderr", "writer", "buf")
+
+#: ``.join()`` blocks on these receivers (never on ``", ".join``).
+_JOINABLE_RECEIVERS = ("thread", "worker", "proc", "pool", "future")
+
+#: Contexts per function before the propagation collapses them (bound).
+_MAX_CONTEXTS = 16
+
+
+# --------------------------------------------------------------------------- #
+# Per-function summaries (one lexical walk each)
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class AcquireSite:
+    """``with self.<lock>:`` — which locks were lexically held on entry."""
+
+    lock: str
+    held: Tuple[str, ...]
+    line: int
+
+
+@dataclass(frozen=True)
+class CallUnder:
+    """One resolved call and the locks lexically held around it."""
+
+    callee_key: str
+    held: FrozenSet[str]
+    line: int
+
+
+@dataclass(frozen=True)
+class BlockSite:
+    """A directly-blocking operation and the locks lexically held around it."""
+
+    desc: str
+    held: FrozenSet[str]
+    line: int
+
+
+@dataclass(frozen=True)
+class AttrWrite:
+    """One ``self.attr`` mutation, for the shared-state drift inference."""
+
+    attr: str
+    held: FrozenSet[str]
+    line: int
+    construction: bool
+
+
+@dataclass
+class FunctionSummary:
+    """Everything the interprocedural passes need to know about one function."""
+
+    info: FunctionInfo
+    #: Locks the ``# repro: locked[...]`` annotation asserts (qualified);
+    #: ``None`` for the bare all-locks form.
+    entry_locks: Optional[FrozenSet[str]]
+    acquires: List[AcquireSite] = field(default_factory=list)
+    calls: List[CallUnder] = field(default_factory=list)
+    blocking: List[BlockSite] = field(default_factory=list)
+    attr_writes: List[AttrWrite] = field(default_factory=list)
+
+    @property
+    def annotated(self) -> bool:
+        return self.entry_locks is None or bool(self.entry_locks)
+
+
+class LockAnalysis:
+    """The static lock-acquisition graph and its supporting summaries."""
+
+    def __init__(self, project: Project):
+        self.project = project
+        self.graph: CallGraph = get_callgraph(project)
+        # Test/benchmark helpers acquire locks of their own; they are not
+        # part of the production acquisition graph (and fixture snippets in
+        # test files must not contribute declared edges to it either).
+        self.summaries: Dict[str, FunctionSummary] = {
+            info.key: _Summarizer(self, info).run()
+            for info in self.graph.functions.values()
+            if not _exempt_path(info.path)
+        }
+        self.blocks: Dict[str, bool] = self._compute_blocks()
+        self.contexts: Dict[str, Set[FrozenSet[str]]] = \
+            self._propagate_contexts()
+        #: src lock -> dst lock -> (witness text, anchor path, anchor line)
+        self.edges: Dict[str, Dict[str, Tuple[str, str, int]]] = {}
+        #: (path, line, lock) self-deadlock acquisition sites.
+        self.self_deadlocks: List[Tuple[str, int, str, str]] = []
+        self._build_edges()
+        self._add_declared_edges()
+
+    # ------------------------------------------------------------------ #
+    # Lock identity
+    # ------------------------------------------------------------------ #
+    def lock_kind(self, lock: str) -> str:
+        """'Lock' | 'RLock' | 'unknown' for a qualified lock name."""
+        owner, _, attr = lock.rpartition(".")
+        cls = self.graph.lookup_class(owner)
+        if cls is not None and attr in cls.lock_attrs:
+            return cls.lock_attrs[attr]
+        return "unknown"
+
+    def qualify(self, info: FunctionInfo, names: FrozenSet[str]
+                ) -> FrozenSet[str]:
+        """Bare annotation lock names -> ``Class.attr`` qualified form."""
+        owner = info.class_name if info.class_name is not None else info.name
+        return frozenset(name if "." in name else f"{owner}.{name}"
+                         for name in names)
+
+    # ------------------------------------------------------------------ #
+    # Transitive "does this function block?"
+    # ------------------------------------------------------------------ #
+    def _compute_blocks(self) -> Dict[str, bool]:
+        blocks = {key: bool(summary.blocking)
+                  for key, summary in self.summaries.items()}
+        changed = True
+        while changed:
+            changed = False
+            for key, summary in self.summaries.items():
+                if blocks[key]:
+                    continue
+                for call in summary.calls:
+                    callee = self.summaries.get(call.callee_key)
+                    # An annotated helper's blocking is reported once, at
+                    # its own definition — don't re-report at every caller.
+                    if callee is not None and not callee.annotated and \
+                            blocks.get(call.callee_key, False):
+                        blocks[key] = True
+                        changed = True
+                        break
+        return blocks
+
+    # ------------------------------------------------------------------ #
+    # Interprocedural held-lock contexts
+    # ------------------------------------------------------------------ #
+    def _propagate_contexts(self) -> Dict[str, Set[FrozenSet[str]]]:
+        contexts: Dict[str, Set[FrozenSet[str]]] = {}
+        for key, summary in self.summaries.items():
+            entry = summary.entry_locks if summary.entry_locks is not None \
+                else frozenset()
+            contexts[key] = {entry}
+        queue = sorted(self.summaries)
+        while queue:
+            key = queue.pop()
+            summary = self.summaries[key]
+            for ctx in list(contexts[key]):
+                for call in summary.calls:
+                    if call.callee_key not in contexts:
+                        continue
+                    incoming = frozenset(ctx | call.held)
+                    if self._add_context(contexts, call.callee_key, incoming):
+                        queue.append(call.callee_key)
+        return contexts
+
+    @staticmethod
+    def _add_context(contexts: Dict[str, Set[FrozenSet[str]]], key: str,
+                     ctx: FrozenSet[str]) -> bool:
+        existing = contexts[key]
+        if any(ctx <= other for other in existing):
+            return False  # a superset context already generates these edges
+        existing.difference_update([other for other in existing
+                                    if other < ctx])
+        existing.add(ctx)
+        if len(existing) > _MAX_CONTEXTS:
+            merged = frozenset().union(*existing)
+            existing.clear()
+            existing.add(merged)
+        return True
+
+    # ------------------------------------------------------------------ #
+    # The acquisition graph
+    # ------------------------------------------------------------------ #
+    def _build_edges(self) -> None:
+        for key in sorted(self.summaries):
+            summary = self.summaries[key]
+            info = summary.info
+            for ctx in sorted(self.contexts[key], key=sorted):
+                for acquire in summary.acquires:
+                    held = set(ctx) | set(acquire.held)
+                    for holder in sorted(held):
+                        if holder == acquire.lock:
+                            if self.lock_kind(acquire.lock) == "Lock":
+                                self.self_deadlocks.append(
+                                    (info.path, acquire.line, acquire.lock,
+                                     info.qualname))
+                            continue
+                        self.edges.setdefault(holder, {}).setdefault(
+                            acquire.lock,
+                            (info.qualname, info.path, acquire.line))
+
+    def _add_declared_edges(self) -> None:
+        for module in self.project.modules:
+            if _exempt_path(module.path):
+                continue
+            for offset, line in enumerate(module.source.splitlines(), start=1):
+                match = _LOCK_EDGE_COMMENT.search(line)
+                if match:
+                    src, dst = match.group(1), match.group(2)
+                    self.edges.setdefault(src, {}).setdefault(
+                        dst, (f"declared in {module.path}", module.path,
+                              offset))
+
+    def cycles(self) -> List[List[str]]:
+        """Every elementary inconsistency, one representative cycle per SCC."""
+        components = _strongly_connected(self.edges)
+        found: List[List[str]] = []
+        for component in components:
+            if len(component) < 2:
+                node = next(iter(component))
+                if node in self.edges.get(node, {}):
+                    found.append([node, node])
+                continue
+            found.append(_representative_cycle(self.edges, component))
+        found.sort()
+        return found
+
+
+class _Summarizer:
+    """One lexical walk of a function body, tracking held locks in order."""
+
+    def __init__(self, analysis: LockAnalysis, info: FunctionInfo):
+        self.analysis = analysis
+        self.info = info
+        raw = annotated_locks(info.module, info.node)
+        entry = None if raw is None else analysis.qualify(info, raw)
+        self.summary = FunctionSummary(info=info, entry_locks=entry)
+        self.local_locks = self._find_local_locks()
+        self.callees_by_line: Dict[int, List[FunctionInfo]] = {}
+        for site in analysis.graph.callees(info):
+            self.callees_by_line.setdefault(site.line, []).append(site.callee)
+        self._recorded_calls: Set[Tuple[str, int, FrozenSet[str]]] = set()
+
+    def run(self) -> FunctionSummary:
+        for statement in self.info.node.body:
+            self._visit(statement, ())
+        return self.summary
+
+    def _find_local_locks(self) -> Dict[str, str]:
+        locks: Dict[str, str] = {}
+        for node in ast.walk(self.info.node):
+            if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+                name = dotted_name(node.value.func)
+                kind = {"threading.Lock": "Lock", "Lock": "Lock",
+                        "threading.RLock": "RLock", "RLock": "RLock"}.get(name)
+                if kind is not None:
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            locks[target.id] = kind
+        return locks
+
+    # -- the walk ------------------------------------------------------ #
+    def _visit(self, node: ast.AST, held: Tuple[str, ...]) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # Nested functions may run on another thread: no lexical locks.
+            return
+        if isinstance(node, ast.Lambda):
+            return
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            inner = held
+            for item in node.items:
+                self._scan_node(item.context_expr, inner)
+                lock = self._lock_of(item.context_expr)
+                if lock is not None:
+                    self.summary.acquires.append(
+                        AcquireSite(lock=lock, held=inner, line=node.lineno))
+                    inner = inner + (lock,)
+            for child in node.body:
+                self._visit(child, inner)
+            return
+        self._scan_node(node, held, recurse=False)
+        for child in ast.iter_child_nodes(node):
+            self._visit(child, held)
+
+    def _lock_of(self, expr: ast.AST) -> Optional[str]:
+        attr = attribute_on(expr, "self")
+        if attr is not None and "lock" in attr.lower() and \
+                self.info.class_name is not None:
+            return f"{self.info.class_name}.{attr}"
+        if isinstance(expr, ast.Name) and expr.id in self.local_locks:
+            return f"{self.info.name}.{expr.id}"
+        return None
+
+    def _scan_node(self, node: ast.AST, held: Tuple[str, ...],
+                   recurse: bool = True) -> None:
+        nodes = ast.walk(node) if recurse else [node]
+        held_set = frozenset(held)
+        for child in nodes:
+            if isinstance(child, ast.Call):
+                desc = _blocking_descriptor(child)
+                if desc is not None:
+                    self.summary.blocking.append(
+                        BlockSite(desc=desc, held=held_set, line=child.lineno))
+                self._record_calls(child.lineno, held_set)
+            elif isinstance(child, ast.Attribute):
+                self._record_calls(child.lineno, held_set)
+            self._record_writes(child, held_set)
+
+    def _record_calls(self, line: int, held: FrozenSet[str]) -> None:
+        for callee in self.callees_by_line.get(line, []):
+            entry = (callee.key, line, held)
+            if entry not in self._recorded_calls:
+                self._recorded_calls.add(entry)
+                self.summary.calls.append(
+                    CallUnder(callee_key=callee.key, held=held, line=line))
+
+    def _record_writes(self, node: ast.AST, held: FrozenSet[str]) -> None:
+        construction = self.info.name in CONSTRUCTION_METHODS
+        attrs: List[Tuple[str, int]] = []
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                attr = _written_attr(target)
+                if attr is not None:
+                    attrs.append((attr, node.lineno))
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)) and \
+                getattr(node, "value", None) is not None:
+            attr = _written_attr(node.target)
+            if attr is not None:
+                attrs.append((attr, node.lineno))
+        elif isinstance(node, ast.Call) and \
+                isinstance(node.func, ast.Attribute):
+            if node.func.attr in MUTATING_METHODS:
+                attr = attribute_on(node.func.value, "self")
+                if attr is not None:
+                    attrs.append((attr, node.lineno))
+        for attr, line in attrs:
+            self.summary.attr_writes.append(AttrWrite(
+                attr=attr, held=held, line=line, construction=construction))
+
+
+def _written_attr(target: ast.AST) -> Optional[str]:
+    """The ``self.attr`` a write target mutates (``self.attr[k] = v`` too)."""
+    if isinstance(target, (ast.Subscript, ast.Starred)):
+        target = target.value
+    return attribute_on(target, "self")
+
+
+# --------------------------------------------------------------------------- #
+# Graph utilities
+# --------------------------------------------------------------------------- #
+def _strongly_connected(edges: Mapping[str, Mapping[str, object]]
+                        ) -> List[Set[str]]:
+    """Tarjan's SCCs over the lock graph, deterministic order, no recursion."""
+    nodes = sorted(set(edges) | {dst for dsts in edges.values()
+                                 for dst in dsts})
+    index: Dict[str, int] = {}
+    lowlink: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    components: List[Set[str]] = []
+    counter = [0]
+
+    for root in nodes:
+        if root in index:
+            continue
+        work = [(root, iter(sorted(edges.get(root, ()))))]
+        index[root] = lowlink[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, successors = work[-1]
+            advanced = False
+            for succ in successors:
+                if succ not in index:
+                    index[succ] = lowlink[succ] = counter[0]
+                    counter[0] += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(sorted(edges.get(succ, ())))))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                component: Set[str] = set()
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.add(member)
+                    if member == node:
+                        break
+                components.append(component)
+    return components
+
+
+def _representative_cycle(edges: Mapping[str, Mapping[str, object]],
+                          component: Set[str]) -> List[str]:
+    """A shortest cycle through the smallest lock name of the component."""
+    start = min(component)
+    parents: Dict[str, str] = {}
+    queue = [start]
+    seen = {start}
+    while queue:
+        node = queue.pop(0)
+        for succ in sorted(edges.get(node, ())):
+            if succ not in component:
+                continue
+            if succ == start:
+                path = [start]
+                walk = node
+                tail = []
+                while walk != start:
+                    tail.append(walk)
+                    walk = parents[walk]
+                return [start] + list(reversed(tail)) + [start]
+            if succ not in seen:
+                seen.add(succ)
+                parents[succ] = node
+                queue.append(succ)
+    return sorted(component) + [start]  # fallback; should not happen
+
+
+def get_lock_analysis(project: Project) -> LockAnalysis:
+    """The project's lock analysis, built once and cached on the project."""
+    return project.cache("lock-analysis", LockAnalysis)
+
+
+def static_lock_edges(paths, root=None) -> Set[Tuple[str, str]]:
+    """The static acquisition graph over ``paths`` as (src, dst) pairs.
+
+    The runtime sanitizer's cross-validation test compares its observed
+    edges against this set — every edge a real thread interleaving produces
+    must already be in the static graph (derived or declared).
+    """
+    from pathlib import Path
+
+    from repro.analysis.core import collect_files, parse_module
+
+    root = root if root is not None else Path.cwd()
+    project = Project()
+    for path in collect_files([Path(p) for p in paths]):
+        module, _ = parse_module(path, root)
+        if module is not None:
+            project.modules.append(module)
+    analysis = LockAnalysis(project)
+    return {(src, dst) for src, targets in analysis.edges.items()
+            for dst in targets}
+
+
+# --------------------------------------------------------------------------- #
+# Blocking-call classification
+# --------------------------------------------------------------------------- #
+def _blocking_descriptor(node: ast.Call) -> Optional[str]:
+    """A stable description if ``node`` blocks outright, else ``None``."""
+    name = dotted_name(node.func)
+    if name in _BLOCKING_CALLS:
+        return f"{name}()"
+    if not isinstance(node.func, ast.Attribute):
+        return None
+    method = node.func.attr
+    receiver = dotted_name(node.func.value) or ""
+    receiver_tail = receiver.split(".")[-1].lower()
+    if method in _BLOCKING_METHODS:
+        return f".{method}()"
+    if method in _STREAM_METHODS and \
+            any(part in receiver_tail for part in _STREAM_RECEIVERS):
+        return f"{receiver_tail}.{method}()"
+    if method == "join" and \
+            any(part in receiver_tail for part in _JOINABLE_RECEIVERS):
+        return f"{receiver_tail}.join()"
+    return None
+
+
+# --------------------------------------------------------------------------- #
+# The rules
+# --------------------------------------------------------------------------- #
+class LockOrderRule(Rule):
+    """Cycles (and self-deadlocks) in the static lock-acquisition graph."""
+
+    rule_id = "lock-order"
+    description = ("the static lock-acquisition graph (with-blocks, "
+                   "'# repro: locked' and lock-edge annotations, propagated "
+                   "through the call graph) must be acyclic")
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        analysis = get_lock_analysis(project)
+        findings: List[Finding] = []
+        for cycle in analysis.cycles():
+            hops = []
+            anchor: Optional[Tuple[str, int]] = None
+            for src, dst in zip(cycle, cycle[1:]):
+                witness, path, line = analysis.edges[src][dst]
+                hops.append(f"{src} -> {dst} (in {witness})")
+                if anchor is None:
+                    anchor = (path, line)
+            findings.append(Finding(
+                path=anchor[0], line=anchor[1], col=1, rule=self.rule_id,
+                message=("potential deadlock: lock-order cycle "
+                         + "; ".join(hops))))
+        seen: Set[Tuple[str, str, str]] = set()
+        for path, line, lock, qualname in analysis.self_deadlocks:
+            key = (path, lock, qualname)
+            if key in seen:
+                continue
+            seen.add(key)
+            findings.append(Finding(
+                path=path, line=line, col=1, rule=self.rule_id,
+                message=(f"self-deadlock: '{qualname}' can acquire "
+                         f"non-reentrant lock '{lock}' while already "
+                         f"holding it")))
+        return sorted(findings)
+
+
+class BlockingUnderLockRule(Rule):
+    """Blocking operations performed while holding a lock."""
+
+    rule_id = "blocking-under-lock"
+    description = ("no fsync/sleep/file/socket I/O or Future.result()/wait() "
+                   "while a lock is held, directly or through callees")
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        analysis = get_lock_analysis(project)
+        findings: Set[Finding] = set()
+        for key in sorted(analysis.summaries):
+            summary = analysis.summaries[key]
+            if summary.entry_locks is None:
+                continue  # bare '# repro: locked': holders unknown, stay quiet
+            entry = summary.entry_locks
+            for site in summary.blocking:
+                held = sorted(site.held | entry)
+                if held:
+                    findings.add(Finding(
+                        path=summary.info.path, line=site.line, col=1,
+                        rule=self.rule_id,
+                        message=(f"blocking call {site.desc} in "
+                                 f"'{summary.info.qualname}' while holding "
+                                 f"{', '.join(held)}")))
+            for call in summary.calls:
+                held = sorted(call.held | entry)
+                if not held:
+                    continue
+                callee = analysis.summaries.get(call.callee_key)
+                if callee is None or callee.annotated:
+                    continue  # annotated helpers report at their definition
+                if analysis.blocks.get(call.callee_key, False):
+                    findings.add(Finding(
+                        path=summary.info.path, line=call.line, col=1,
+                        rule=self.rule_id,
+                        message=(f"call to '{callee.info.qualname}' (performs "
+                                 f"blocking I/O) in '{summary.info.qualname}' "
+                                 f"while holding {', '.join(held)}")))
+        return sorted(findings)
+
+
+class SharedStateDriftRule(Rule):
+    """DEFAULT_SHARED_STATE drift: undeclared-but-locked and stale entries."""
+
+    rule_id = "shared-state-drift"
+    description = ("DEFAULT_SHARED_STATE must declare attributes that are "
+                   "consistently mutated under a lock and must not name "
+                   "classes/attributes that no longer exist")
+
+    #: The module that owns the map — drift is reported against it, and the
+    #: whole rule stays quiet when it is not part of the analyzed tree (a
+    #: partial tree proves nothing about staleness).
+    anchor_suffix = "repro/analysis/lock_discipline.py"
+
+    def __init__(self, shared_state: Optional[Mapping[str, Dict[str, Dict[str, str]]]] = None,
+                 require_anchor: bool = True):
+        self.shared_state = dict(shared_state if shared_state is not None
+                                 else DEFAULT_SHARED_STATE)
+        self.require_anchor = require_anchor
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        anchor = project.find(self.anchor_suffix)
+        if self.require_anchor and anchor is None:
+            return ()
+        analysis = get_lock_analysis(project)
+        findings: List[Finding] = []
+        findings.extend(self._undeclared(analysis))
+        findings.extend(self._stale(analysis, anchor))
+        return sorted(findings)
+
+    # -- inference: consistently-locked but undeclared ------------------ #
+    def _undeclared(self, analysis: LockAnalysis) -> List[Finding]:
+        writes: Dict[Tuple[str, str, str], List[AttrWrite]] = {}
+        for key in sorted(analysis.summaries):
+            summary = analysis.summaries[key]
+            info = summary.info
+            if info.class_name is None or _exempt_path(info.path):
+                continue
+            entry = summary.entry_locks or frozenset()
+            for write in summary.attr_writes:
+                if write.construction or "lock" in write.attr.lower():
+                    continue
+                effective = AttrWrite(attr=write.attr,
+                                      held=frozenset(write.held | entry),
+                                      line=write.line,
+                                      construction=False)
+                writes.setdefault((info.path, info.class_name, write.attr),
+                                  []).append(effective)
+        findings = []
+        for (path, class_name, attr) in sorted(writes):
+            if self._declared(path, class_name, attr):
+                continue
+            sites = writes[(path, class_name, attr)]
+            common = frozenset.intersection(*[site.held for site in sites])
+            candidates = sorted(
+                lock.split(".", 1)[1] for lock in common
+                if lock.split(".", 1)[0] == class_name)
+            if not candidates:
+                continue
+            lock_attr = candidates[0]
+            findings.append(Finding(
+                path=path, line=min(site.line for site in sites), col=1,
+                rule=self.rule_id,
+                message=(f"'{class_name}.{attr}' is always mutated under "
+                         f"'with self.{lock_attr}:' but is not declared in "
+                         f"DEFAULT_SHARED_STATE (add \"{attr}\": "
+                         f"\"{lock_attr}\")")))
+        return findings
+
+    def _declared(self, path: str, class_name: str, attr: str) -> bool:
+        for suffix, classes in self.shared_state.items():
+            if path.endswith(suffix):
+                return attr in classes.get(class_name, {})
+        return False
+
+    # -- staleness: declared entries with no referent ------------------- #
+    def _stale(self, analysis: LockAnalysis,
+               anchor: Optional[Module]) -> List[Finding]:
+        anchor_path = anchor.path if anchor is not None else \
+            self.anchor_suffix
+        anchor_line = self._map_line(anchor)
+        findings = []
+        for suffix in sorted(self.shared_state):
+            module = analysis.project.find(suffix)
+            if module is None:
+                findings.append(Finding(
+                    path=anchor_path, line=anchor_line, col=1,
+                    rule=self.rule_id,
+                    message=(f"stale DEFAULT_SHARED_STATE entry: no module "
+                             f"matches '{suffix}'")))
+                continue
+            for class_name in sorted(self.shared_state[suffix]):
+                cls = self._class_in(analysis, module.path, class_name)
+                if cls is None:
+                    findings.append(Finding(
+                        path=anchor_path, line=anchor_line, col=1,
+                        rule=self.rule_id,
+                        message=(f"stale DEFAULT_SHARED_STATE entry: class "
+                                 f"'{class_name}' not found in {suffix}")))
+                    continue
+                for attr in sorted(self.shared_state[suffix][class_name]):
+                    if attr not in cls.assigned_attrs:
+                        findings.append(Finding(
+                            path=anchor_path, line=anchor_line, col=1,
+                            rule=self.rule_id,
+                            message=(f"stale DEFAULT_SHARED_STATE entry: "
+                                     f"'{class_name}.{attr}' is never "
+                                     f"assigned in {suffix}")))
+        return findings
+
+    @staticmethod
+    def _class_in(analysis: LockAnalysis, path: str, class_name: str):
+        for cls in analysis.graph.classes.get(class_name, []):
+            if cls.path == path:
+                return cls
+        return None
+
+    @staticmethod
+    def _map_line(anchor: Optional[Module]) -> int:
+        if anchor is None:
+            return 1
+        for node in anchor.tree.body:
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name) and \
+                            target.id == "DEFAULT_SHARED_STATE":
+                        return node.lineno
+        return 1
+
+
+def _exempt_path(path: str) -> bool:
+    return any(part in path for part in
+               ("tests/", "benchmarks/", "examples/", "docs/"))

@@ -197,6 +197,10 @@ class InteractionLogReader:
                     f"cursor cannot move backwards (seq {self._cursor.seq} "
                     f"-> {cursor.seq}); pass since_seq explicitly to re-read"
                 )
+            # The cursor write must happen under the lock — check-then-write
+            # against the monotonicity guard above — and advance() is called
+            # once per retrain, never on the serving path.
+            # repro: allow[blocking-under-lock]
             atomic_write_text(
                 self.cursor_path,
                 json.dumps(cursor.as_dict(), separators=(",", ":"),

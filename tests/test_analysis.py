@@ -443,10 +443,28 @@ class TestCli:
                               "--select", "kernel-purity"]) == 0
         capsys.readouterr()
 
-    def test_list_rules_names_all_four(self, capsys):
+    def test_jobs_output_is_byte_identical_to_serial(self, tmp_path, capsys):
+        for index in range(6):
+            (tmp_path / f"mod_{index}.py").write_text(
+                f"x{index} = {index} == 0.3\n", encoding="utf-8")
+        serial_code = analysis_main([str(tmp_path), "--root", str(tmp_path)])
+        serial = capsys.readouterr()
+        parallel_code = analysis_main([str(tmp_path), "--root", str(tmp_path),
+                                       "--jobs", "4"])
+        parallel = capsys.readouterr()
+        assert serial_code == parallel_code == 1
+        assert serial.out == parallel.out
+
+    def test_exit_two_on_nonpositive_jobs(self, tmp_path, capsys):
+        (tmp_path / "clean.py").write_text("x = 1\n", encoding="utf-8")
+        assert analysis_main([str(tmp_path), "--jobs", "0"]) == 2
+        assert "jobs" in capsys.readouterr().err
+
+    def test_list_rules_names_all_seven(self, capsys):
         assert analysis_main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule_id in ("lock-discipline", "kernel-purity",
+        for rule_id in ("lock-discipline", "lock-order", "blocking-under-lock",
+                        "shared-state-drift", "kernel-purity",
                         "protocol-completeness", "numerics-hygiene"):
             assert rule_id in out
 
@@ -463,6 +481,20 @@ def test_src_tree_is_clean_against_committed_baseline(capsys):
     captured = capsys.readouterr()
     assert exit_code == 0, captured.out
     # No stale entries either: every baselined debt still exists.
+    assert "stale baseline entry" not in captured.err
+
+
+def test_full_tree_is_clean_against_committed_baseline(capsys):
+    """``make lint`` scope: src + tests + benchmarks, same baseline."""
+    exit_code = analysis_main([
+        str(REPO_ROOT / "src"),
+        str(REPO_ROOT / "tests"),
+        str(REPO_ROOT / "benchmarks"),
+        "--root", str(REPO_ROOT),
+        "--baseline", str(REPO_ROOT / "analysis-baseline.txt"),
+    ])
+    captured = capsys.readouterr()
+    assert exit_code == 0, captured.out
     assert "stale baseline entry" not in captured.err
 
 

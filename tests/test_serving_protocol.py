@@ -190,6 +190,7 @@ class TestHeadRegistry:
                 return [-float(s) for s in batcher.score_all(requests)]
 
         heads = HeadRegistry([ScoringHead("score", "score"),
+                              # repro: allow[protocol-completeness] — test-local head
                               NegateHead("negate", "score")])
         plain = registry.get("golden").batcher(heads=heads)
         base = float(plain.score_all(
