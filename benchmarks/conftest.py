@@ -15,6 +15,7 @@ Run with::
 from __future__ import annotations
 
 from pathlib import Path
+from typing import Dict
 
 import pytest
 
@@ -26,13 +27,35 @@ BENCHMARK_SCALE = "quick"
 #: easy to inspect and to archive (pytest captures stdout of passing tests).
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
 
+#: Tables staged by :func:`export_text` during the currently running test,
+#: keyed by destination path.  Flushed to ``results/`` only if that test
+#: passes (see :func:`pytest_runtest_makereport`).
+_pending_exports: Dict[Path, str] = {}
+
 
 def export_text(name: str, text: str) -> Path:
-    """Write a regenerated table/figure to ``results/<name>.txt`` and return the path."""
-    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    """Stage a regenerated table/figure for ``results/<name>.txt``.
+
+    The write is deferred until the calling test *passes*: benchmarks export
+    their report before their acceptance asserts run, and a run that fails an
+    acceptance gate (or runs on a contended machine that trips one) must not
+    overwrite the committed artifact with numbers the suite itself rejected.
+    """
     path = RESULTS_DIR / f"{name}.txt"
-    path.write_text(text + "\n")
+    _pending_exports[path] = text + "\n"
     return path
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    outcome = yield
+    report = outcome.get_result()
+    if report.when == "call":
+        if report.passed:
+            RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+            for path, text in _pending_exports.items():
+                path.write_text(text)
+        _pending_exports.clear()
 
 
 @pytest.fixture(scope="session")
